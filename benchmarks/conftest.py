@@ -1,0 +1,35 @@
+"""Shared benchmark fixtures.
+
+All table/figure benchmarks draw from one memoized pair of simulated
+TPC-W runs (the paper's §4 uses the same two one-hour runs for every
+table and figure).  The pair is produced at the quick-preset scale so
+the whole benchmark suite completes in about a minute; pass
+``--paper-scale`` to run the full 400-client hour-long configuration.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.experiments import ExperimentRunner
+from repro.sim.workload import WorkloadConfig
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--paper-scale", action="store_true", default=False,
+        help="run benchmarks at the full paper scale (400 EBs, 1 h runs)",
+    )
+
+
+@pytest.fixture(scope="session")
+def workload_config(request) -> WorkloadConfig:
+    if request.config.getoption("--paper-scale"):
+        return WorkloadConfig.paper()
+    return WorkloadConfig.quick()
+
+
+@pytest.fixture(scope="session")
+def runner(workload_config) -> ExperimentRunner:
+    """The memoized baseline+staged pair behind every table/figure."""
+    return ExperimentRunner(workload_config)

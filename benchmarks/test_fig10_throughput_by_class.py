@@ -1,0 +1,38 @@
+"""Figure 10: throughput by request class.
+
+(a) static, (b) all dynamic, (c) quick dynamic, (d) lengthy dynamic —
+"the throughput gains are obvious for all the four types of requests."
+"""
+
+import pytest
+
+from repro.harness.report import format_figure10
+
+
+def test_fig10_by_class(benchmark, runner):
+    by_class = benchmark.pedantic(runner.figure10, rounds=1, iterations=1)
+    print()
+    print(format_figure10(by_class))
+
+    assert set(by_class) == {"static", "dynamic", "quick", "lengthy"}
+    for request_class, (unmodified, modified) in by_class.items():
+        total_unmod = sum(unmodified.values)
+        total_mod = sum(modified.values)
+        assert total_mod > total_unmod, request_class
+        benchmark.extra_info[f"{request_class}_gain_pct"] = round(
+            100 * (total_mod / total_unmod - 1), 1
+        )
+
+
+def test_fig10_class_composition(runner):
+    """Sanity relations between the four panels: quick + lengthy =
+    dynamic, and statics dominate raw request counts (each interaction
+    fetches its page's images)."""
+    by_class = runner.figure10()
+    for column in (0, 1):
+        dynamic = sum(by_class["dynamic"][column].values)
+        quick = sum(by_class["quick"][column].values)
+        lengthy = sum(by_class["lengthy"][column].values)
+        static = sum(by_class["static"][column].values)
+        assert quick + lengthy == pytest.approx(dynamic)
+        assert static > dynamic * 0.5

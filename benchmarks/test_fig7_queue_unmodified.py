@@ -1,0 +1,27 @@
+"""Figure 7: queued dynamic requests on the unmodified server.
+
+The paper's plot shows a spiky queue reaching the hundreds whenever
+short requests pile up behind lengthy ones, repeatedly returning toward
+zero — the convoy signature of the shared FIFO queue.
+"""
+
+from repro.harness.report import format_figure7
+
+
+def test_fig7_queue_trace(benchmark, runner):
+    series = benchmark.pedantic(runner.figure7, rounds=1, iterations=1)
+    print()
+    print(format_figure7(series))
+
+    values = series.values
+    assert len(values) > 100, "expected ~1 Hz samples over the run"
+
+    # Spiky overload: a large peak...
+    assert series.max() >= 10
+    # ...but not a monotone blow-up: the queue returns near zero
+    # between spikes (the closed loop self-throttles).
+    near_zero = sum(1 for v in values if v <= 2)
+    assert near_zero >= len(values) * 0.05
+
+    benchmark.extra_info["queue_peak"] = series.max()
+    benchmark.extra_info["queue_mean"] = round(series.mean(), 2)

@@ -1,0 +1,28 @@
+"""Figure 8: the modified server's two dynamic queues.
+
+8(a): the general pool's queue stays near zero — quick requests are
+served 'almost immediately because there are threads reserved for
+them'.  8(b): the lengthy pool's queue absorbs the backlog — lengthy
+requests 'get stuck in their own queue behind a number of other
+lengthy requests'.
+"""
+
+from repro.harness.report import format_figure8
+
+
+def test_fig8_queue_traces(benchmark, runner):
+    general, lengthy = benchmark.pedantic(
+        runner.figure8, rounds=1, iterations=1
+    )
+    print()
+    print(format_figure8(general, lengthy))
+
+    # (a) General queue: near-zero mean; quick requests never convoy.
+    assert general.mean() < 1.0
+    # (b) Lengthy queue: carries a real backlog, far above the general.
+    assert lengthy.max() >= 5
+    assert lengthy.max() > 3 * max(general.max(), 1.0)
+    assert lengthy.mean() > general.mean()
+
+    benchmark.extra_info["general_peak"] = general.max()
+    benchmark.extra_info["lengthy_peak"] = lengthy.max()

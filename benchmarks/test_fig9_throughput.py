@@ -1,0 +1,33 @@
+"""Figure 9: overall throughput (requests/min) across the run.
+
+The paper's plot shows the modified server's curve consistently above
+the unmodified server's for the whole measurement window.
+"""
+
+from repro.harness.report import format_figure9
+
+
+def test_fig9_overall_throughput(benchmark, runner):
+    unmodified, modified = benchmark.pedantic(
+        runner.figure9, rounds=1, iterations=1
+    )
+    print()
+    print(format_figure9(unmodified, modified))
+
+    assert len(unmodified.values) == len(modified.values)
+    assert len(modified.values) >= 4, "need multiple per-minute buckets"
+
+    # Consistently better: the modified curve sits above the
+    # unmodified one in (at least) the large majority of buckets.
+    above = sum(
+        1 for u, m in zip(unmodified.values, modified.values) if m > u
+    )
+    assert above >= len(modified.values) * 0.7
+
+    # And better in aggregate.
+    assert sum(modified.values) > sum(unmodified.values)
+
+    benchmark.extra_info["unmodified_mean_per_min"] = round(
+        unmodified.mean(), 1
+    )
+    benchmark.extra_info["modified_mean_per_min"] = round(modified.mean(), 1)

@@ -1,0 +1,130 @@
+"""Micro-benchmarks of the substrates on the request hot path.
+
+Not paper artifacts — these guard the building blocks' performance so
+regressions in the substrates don't masquerade as scheduling effects:
+HTTP parsing (header pool), template rendering (render pool), indexed
+and scanning SQL (the fast/slow page split), and the end-to-end
+in-process handler path.
+"""
+
+import pytest
+
+from repro.db.engine import Database
+from repro.db.pool import ConnectionPool
+from repro.http.parser import parse_request_bytes
+from repro.templates.engine import TemplateEngine
+from repro.tpcw.app import TPCWApplication
+from repro.tpcw.population import PopulationScale, populate
+from repro.tpcw.schema import create_schema
+
+REQUEST = (
+    b"GET /homepage?userid=5&popups=no HTTP/1.1\r\n"
+    b"User-Agent: Mozilla/1.7\r\n"
+    b"Accept: text/html\r\n"
+    b"Host: localhost\r\n"
+    b"\r\n"
+)
+
+
+def test_http_request_parse(benchmark):
+    request = benchmark(parse_request_bytes, REQUEST)
+    assert request.params == {"userid": "5", "popups": "no"}
+
+
+def test_template_render_item_list(benchmark):
+    engine = TemplateEngine(sources={
+        "list.html": (
+            "<ul>{% for item in items %}"
+            "<li>{{ item.title }} — ${{ item.cost|floatformat:2 }}</li>"
+            "{% endfor %}</ul>"
+        ),
+    })
+    data = {
+        "items": [
+            {"title": f"Book {i}", "cost": 10.0 + i} for i in range(50)
+        ]
+    }
+    html = benchmark(engine.render, "list.html", data)
+    assert html.count("<li>") == 50
+
+
+@pytest.fixture(scope="module")
+def bench_db():
+    database = Database()
+    create_schema(database)
+    populate(database, PopulationScale.tiny())
+    return database
+
+
+def test_sql_indexed_point_query(benchmark, bench_db):
+    """A TPC-W 'fast' query: primary-key probe."""
+    result = benchmark(
+        bench_db.execute, "SELECT i_title FROM item WHERE i_id = %s", (7,)
+    )
+    assert len(result) == 1
+
+
+def test_sql_scan_group_sort_query(benchmark, bench_db):
+    """A TPC-W 'slow' query plan: scan + join + group + sort."""
+    sql = (
+        "SELECT ol_i_id, SUM(ol_qty) AS sold FROM order_line "
+        "JOIN orders ON ol_o_id = o_id "
+        "WHERE o_id > %s GROUP BY ol_i_id ORDER BY sold DESC LIMIT 10"
+    )
+    result = benchmark(bench_db.execute, sql, (0,))
+    assert len(result) <= 10
+
+
+def test_fast_slow_cost_ratio(bench_db):
+    """The charged cost ratio between the slow plan and the point query
+    must be large — this ratio is what the whole evaluation rides on."""
+    bench_db.cost_model.reset()
+    bench_db.execute("SELECT i_title FROM item WHERE i_id = 7")
+    fast = bench_db.cost_model.total_seconds
+    bench_db.cost_model.reset()
+    bench_db.execute(
+        "SELECT ol_i_id, SUM(ol_qty) AS sold FROM order_line "
+        "JOIN orders ON ol_o_id = o_id "
+        "WHERE o_id > 0 GROUP BY ol_i_id ORDER BY sold DESC LIMIT 10"
+    )
+    slow = bench_db.cost_model.total_seconds
+    print(f"\nfast {fast*1e6:.0f}us vs slow {slow*1e6:.0f}us "
+          f"({slow/fast:.0f}x)")
+    assert slow / fast > 20
+
+
+def test_tpcw_handler_in_process(benchmark, bench_db):
+    """End-to-end data generation + render for the home page."""
+    app = TPCWApplication(bench_db, bestseller_window=50)
+    pool = ConnectionPool(bench_db, size=1)
+    connection = pool.acquire()
+    app.bind_connection(connection)
+    try:
+        def serve():
+            template, data = app.home(c_id="1", i_id="1")
+            return app.templates.render(template, data)
+
+        html = benchmark(serve)
+        assert "</html>" in html
+    finally:
+        app.bind_connection(None)
+        pool.release(connection)
+
+
+def test_simulation_event_rate(benchmark):
+    """Kernel throughput: a ping-pong of events and delays."""
+    from repro.sim.kernel import Simulation
+
+    def run():
+        sim = Simulation()
+
+        def process():
+            for _ in range(1000):
+                yield 0.001
+
+        sim.spawn(process())
+        sim.run()
+        return sim.events_processed
+
+    events = benchmark(run)
+    assert events >= 1000

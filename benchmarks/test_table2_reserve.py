@@ -1,0 +1,35 @@
+"""Table 2: the treserve controller's worked example.
+
+Benchmarks the controller update (it runs once per second on the hot
+path of a live server) and asserts the trace matches the paper row for
+row.
+"""
+
+from repro.core.reserve import ReserveController
+from repro.harness.experiments import (
+    PAPER_TABLE2_ROWS,
+    PAPER_TABLE2_TSPARE,
+    run_table2,
+)
+from repro.harness.report import format_table2
+
+
+def test_table2_trace_matches_paper(benchmark):
+    result = benchmark(run_table2)
+    assert result.matches_paper
+    assert result.rows == PAPER_TABLE2_ROWS
+    print()
+    print(format_table2(result))
+
+
+def test_reserve_update_throughput(benchmark):
+    """A single update must be microseconds: it is called every second
+    while holding no locks the dispatch path needs."""
+    controller = ReserveController(minimum=20)
+    trace = PAPER_TABLE2_TSPARE * 10
+
+    def run():
+        for tspare in trace:
+            controller.update(tspare)
+
+    benchmark(run)

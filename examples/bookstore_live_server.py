@@ -1,0 +1,107 @@
+"""The TPC-W bookstore live, on real sockets: unmodified vs modified.
+
+Populates the bookstore, then runs the same emulated-browser fleet
+against (1) the conventional thread-per-request server and (2) the
+paper's staged server, and prints client-side response times per page —
+a miniature of the paper's testbed (Figure 6) with compressed think
+times so it finishes in under a minute.
+
+Run:  python examples/bookstore_live_server.py [--seconds 10] [--clients 12]
+"""
+
+import argparse
+
+from repro.core.policy import PolicyConfig, SchedulingPolicy
+from repro.db.cost import SleepingCostModel
+from repro.db.engine import Database
+from repro.db.pool import ConnectionPool
+from repro.server.baseline import BaselineServer
+from repro.server.staged import StagedServer
+from repro.tpcw.app import TPCWApplication
+from repro.tpcw.emulator import BrowserFleet
+from repro.tpcw.mix import PAPER_PAGE_NAMES
+from repro.tpcw.population import PopulationScale, populate
+from repro.tpcw.schema import create_schema
+
+
+def build_application() -> TPCWApplication:
+    # A sleeping cost model makes query cost real wall time, standing
+    # in for the remote MySQL host's latency (scaled 3x to make the
+    # fast/slow contrast visible in a short run).
+    database = Database(cost_model=SleepingCostModel(scale=3.0))
+    create_schema(database)
+    scale = PopulationScale(items=200, customers=400, orders=350)
+    populate(database, scale)
+    return TPCWApplication(database, bestseller_window=120)
+
+
+def run_fleet(server, label: str, seconds: float, clients: int) -> None:
+    host, port = server.address
+    fleet = BrowserFleet(host, port, clients=clients, customers=400,
+                         items=200, think_scale=0.03)
+    fleet.run_for(seconds)
+    total = fleet.total_completions()
+    errors = fleet.errors()
+    print(f"\n== {label}: {total} interactions in {seconds:.0f}s "
+          f"({len(errors)} errors)")
+    print(f"   database time per interaction: "
+          f"{_db_seconds_per_interaction(server, total)*1000:.1f} ms "
+          f"of connection busy time")
+    response_times = fleet.mean_response_times()
+    completions = fleet.completions()
+    for path in sorted(response_times):
+        name = PAPER_PAGE_NAMES.get(path, path)
+        print(f"   {name:34s} {response_times[path]*1000:9.1f} ms   "
+              f"n={completions.get(path, 0)}")
+
+
+def _db_seconds_per_interaction(server, interactions: int) -> float:
+    """Connection busy seconds per completed interaction — the resource
+    the paper's scheme husbands."""
+    if interactions == 0:
+        return 0.0
+    return server.connection_pool.total_busy_seconds() / interactions
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--seconds", type=float, default=10.0)
+    parser.add_argument("--clients", type=int, default=12)
+    args = parser.parse_args()
+
+    print("populating the TPC-W bookstore...")
+    app = build_application()
+    counts = app.database.row_counts()
+    print(f"  {counts['item']} items, {counts['customer']} customers, "
+          f"{counts['orders']} orders")
+
+    # Unmodified: one pool, every worker pins a connection.
+    baseline = BaselineServer(app, ConnectionPool(app.database, 6)).start()
+    try:
+        run_fleet(baseline, "unmodified (thread-per-request)",
+                  args.seconds, args.clients)
+    finally:
+        baseline.stop()
+
+    # Modified: five pools; same number of database connections.
+    policy = SchedulingPolicy(PolicyConfig(
+        general_pool_size=5, lengthy_pool_size=1, minimum_reserve=1,
+        header_pool_size=3, static_pool_size=3, render_pool_size=3,
+        lengthy_cutoff=0.25,  # scaled with the compressed run
+    ))
+    staged = StagedServer(app, ConnectionPool(app.database, 6),
+                          policy=policy).start()
+    try:
+        run_fleet(staged, "modified (staged five-pool)",
+                  args.seconds, args.clients)
+        tracked = staged.policy.tracker.pages()
+        slow = {page: mean for page, mean in tracked.items()
+                if mean > policy.config.lengthy_cutoff}
+        print(f"\npages the classifier learned as lengthy: "
+              f"{sorted(slow) or '(none yet)'}")
+    finally:
+        staged.stop()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Setup shim: enables `python setup.py develop` in offline environments
+where the wheel package (required by PEP 517 editable installs) is
+unavailable.  Configuration lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

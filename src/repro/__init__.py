@@ -1,0 +1,43 @@
+"""repro — Efficient Resource Management on Template-based Web Servers.
+
+A complete reproduction of Courtwright, Yue & Wang (DSN 2009): the
+staged multi-pool request-scheduling method, the substrates it needs
+(HTTP server, Django-style templates, SQL database with bounded
+connection pooling), the TPC-W benchmark it was evaluated on, and a
+discrete-event simulator that regenerates every table and figure of
+the paper's evaluation.
+
+Quick orientation:
+
+>>> from repro import Database, ConnectionPool, Application, StagedServer
+>>> from repro import SchedulingPolicy, run_tpcw_simulation
+
+See README.md for the tour and ``python -m repro.harness`` for the
+full paper reproduction.
+"""
+
+from repro.core.policy import PolicyConfig, SchedulingPolicy
+from repro.db.engine import Database
+from repro.db.pool import ConnectionPool
+from repro.server.app import Application
+from repro.server.baseline import BaselineServer
+from repro.server.staged import StagedServer
+from repro.sim.workload import WorkloadConfig, run_tpcw_simulation
+from repro.templates.engine import Template, TemplateEngine
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PolicyConfig",
+    "SchedulingPolicy",
+    "Database",
+    "ConnectionPool",
+    "Application",
+    "BaselineServer",
+    "StagedServer",
+    "WorkloadConfig",
+    "run_tpcw_simulation",
+    "Template",
+    "TemplateEngine",
+    "__version__",
+]

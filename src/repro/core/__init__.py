@@ -1,0 +1,37 @@
+"""The paper's primary contribution: staged request-scheduling policy.
+
+This package is pure logic — no threads, no sockets, no simulated
+events — so the identical code is embedded both in the real threaded
+server (:mod:`repro.server.staged`) and in the discrete-event simulator
+(:mod:`repro.sim.server`).
+
+The pieces map onto the paper's Section 3:
+
+- :class:`RequestClassifier` — static vs. dynamic from the request path
+  (the extension rule of §3.2) and quick vs. lengthy from tracked mean
+  data-generation time (§3.3).
+- :class:`ServiceTimeTracker` — per-page running mean of data-generation
+  time, measured from request acquisition until the unrendered template
+  is queued for rendering, deliberately excluding render time (§3.3).
+- :class:`ReserveController` — the adaptive ``treserve`` law updated
+  once per second against the measured ``tspare`` (§3.3, Table 2).
+- :class:`Dispatcher` — the three dispatch rules of Table 1.
+- :class:`SchedulingPolicy` — facade wiring the above together.
+"""
+
+from repro.core.classifier import RequestClass, RequestClassifier
+from repro.core.dispatch import Dispatcher, DynamicPoolChoice
+from repro.core.latency import ServiceTimeTracker
+from repro.core.policy import PolicyConfig, SchedulingPolicy
+from repro.core.reserve import ReserveController
+
+__all__ = [
+    "RequestClass",
+    "RequestClassifier",
+    "Dispatcher",
+    "DynamicPoolChoice",
+    "ServiceTimeTracker",
+    "PolicyConfig",
+    "SchedulingPolicy",
+    "ReserveController",
+]

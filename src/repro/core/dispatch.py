@@ -1,0 +1,69 @@
+"""Dynamic-request dispatch rules (paper §3.3, Table 1).
+
++---------------------------------------------+------------------------+
+| condition                                   | dispatch decision      |
++=============================================+========================+
+| a quick request                             | send to general pool   |
+| a lengthy request and tspare >  treserve    | send to general pool   |
+| a lengthy request and tspare <= treserve    | send to lengthy pool   |
++---------------------------------------------+------------------------+
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.core.classifier import RequestClass
+
+
+class DynamicPoolChoice(enum.Enum):
+    """Which dynamic pool a header-parsing thread hands a request to."""
+
+    GENERAL = "general"
+    LENGTHY = "lengthy"
+
+
+class Dispatcher:
+    """Stateless implementation of Table 1.
+
+    Kept as a class (rather than a bare function) so servers can swap
+    in alternative dispatchers for the ablation experiments — e.g.
+    :class:`AlwaysGeneralDispatcher` models a single shared dynamic
+    pool.
+    """
+
+    def choose_pool(
+        self,
+        request_class: RequestClass,
+        tspare: int,
+        treserve: int,
+    ) -> DynamicPoolChoice:
+        """Apply Table 1 to one dynamic request."""
+        if request_class is RequestClass.STATIC:
+            raise ValueError("static requests are not dispatched to dynamic pools")
+        if request_class is RequestClass.QUICK_DYNAMIC:
+            return DynamicPoolChoice.GENERAL
+        if tspare > treserve:
+            return DynamicPoolChoice.GENERAL
+        return DynamicPoolChoice.LENGTHY
+
+
+class AlwaysGeneralDispatcher(Dispatcher):
+    """Ablation: a single shared dynamic pool (no lengthy diversion)."""
+
+    def choose_pool(self, request_class, tspare, treserve):
+        if request_class is RequestClass.STATIC:
+            raise ValueError("static requests are not dispatched to dynamic pools")
+        return DynamicPoolChoice.GENERAL
+
+
+class StrictSeparationDispatcher(Dispatcher):
+    """Ablation: every lengthy request goes to the lengthy pool,
+    regardless of spare capacity (no adaptive sharing)."""
+
+    def choose_pool(self, request_class, tspare, treserve):
+        if request_class is RequestClass.STATIC:
+            raise ValueError("static requests are not dispatched to dynamic pools")
+        if request_class is RequestClass.QUICK_DYNAMIC:
+            return DynamicPoolChoice.GENERAL
+        return DynamicPoolChoice.LENGTHY

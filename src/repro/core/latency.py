@@ -1,0 +1,97 @@
+"""Per-page data-generation time tracking.
+
+Section 3.3: "we track the average time spent in generating data for
+each page. Specifically, we measure the time cost in the dynamic
+request thread, from when the request is acquired through when its
+unrendered template is placed in the template rendering queue."
+
+Because rendering happens in a separate pool, the measurement captures
+database/query time only — the increased accuracy the paper calls out
+as a benefit of the staged design.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Optional
+
+
+class _PageStats:
+    __slots__ = ("count", "mean")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.mean = 0.0
+
+    def add(self, sample: float) -> None:
+        self.count += 1
+        self.mean += (sample - self.mean) / self.count
+
+
+class ServiceTimeTracker:
+    """Running mean of data-generation time, keyed by page.
+
+    Thread-safe: in the real server many dynamic-request threads record
+    into it concurrently while header-parsing threads read from it.
+
+    An optional ``window`` turns the running mean into an exponentially
+    weighted moving average once a page has at least ``window`` samples,
+    so the estimate adapts if a page's cost drifts (e.g. the database
+    grows).  ``window=None`` (default) reproduces the paper's plain
+    average.
+    """
+
+    def __init__(self, window: Optional[int] = None):
+        if window is not None and window < 1:
+            raise ValueError(f"window must be >= 1 or None, got {window}")
+        self._window = window
+        self._pages: Dict[str, _PageStats] = {}
+        self._lock = threading.Lock()
+
+    def record(self, page: str, seconds: float) -> None:
+        """Record one data-generation time measurement for ``page``."""
+        if seconds < 0:
+            raise ValueError(f"negative service time {seconds!r} for page {page!r}")
+        with self._lock:
+            stats = self._pages.get(page)
+            if stats is None:
+                stats = _PageStats()
+                self._pages[page] = stats
+            if self._window is not None and stats.count >= self._window:
+                # EWMA with alpha = 1/window once warm.
+                alpha = 1.0 / self._window
+                stats.mean += alpha * (seconds - stats.mean)
+                stats.count += 1
+            else:
+                stats.add(seconds)
+
+    def mean_time(self, page: str) -> Optional[float]:
+        """The tracked mean for ``page``, or None if never measured."""
+        with self._lock:
+            stats = self._pages.get(page)
+            return stats.mean if stats is not None else None
+
+    def sample_count(self, page: str) -> int:
+        with self._lock:
+            stats = self._pages.get(page)
+            return stats.count if stats is not None else 0
+
+    def pages(self) -> Dict[str, float]:
+        """Snapshot of all tracked pages and their means."""
+        with self._lock:
+            return {page: stats.mean for page, stats in self._pages.items()}
+
+    def prime(self, page: str, seconds: float, count: int = 1) -> None:
+        """Seed a page's history, e.g. from a previous run's profile.
+
+        Useful for warm-starting the classifier so the very first
+        lengthy request of a known-slow page does not land in the
+        general pool.
+        """
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        with self._lock:
+            stats = _PageStats()
+            stats.count = count
+            stats.mean = float(seconds)
+            self._pages[page] = stats

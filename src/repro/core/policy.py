@@ -1,0 +1,156 @@
+"""The scheduling-policy facade embedded by both server implementations.
+
+A :class:`SchedulingPolicy` owns one :class:`ServiceTimeTracker`, one
+:class:`RequestClassifier`, one :class:`ReserveController`, and one
+:class:`Dispatcher`, and exposes the small surface the servers need:
+
+- ``classify(path)`` — what kind of request is this?
+- ``route(path, tspare)`` — which dynamic pool should take it?
+- ``record_generation_time(path, seconds)`` — feed back a measurement.
+- ``tick(tspare)`` — the once-per-second treserve update.
+
+The real threaded server calls ``tick`` from a timer thread; the
+simulator calls it from a 1 Hz simulated process.  Everything else is
+identical between the two.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import FrozenSet, Optional
+
+from repro.core.classifier import (
+    DEFAULT_LENGTHY_CUTOFF_SECONDS,
+    DEFAULT_STATIC_EXTENSIONS,
+    RequestClass,
+    RequestClassifier,
+)
+from repro.core.dispatch import Dispatcher, DynamicPoolChoice
+from repro.core.latency import ServiceTimeTracker
+from repro.core.reserve import DEFAULT_MINIMUM_RESERVE, ReserveController
+
+
+@dataclasses.dataclass(frozen=True)
+class PolicyConfig:
+    """Tunable parameters of the scheduling method.
+
+    Defaults are the paper's values.  ``general_pool_size`` is four
+    times ``lengthy_pool_size`` per §3.3 ("the general pool has four
+    times as many threads as the lengthy pool").
+    """
+
+    lengthy_cutoff: float = DEFAULT_LENGTHY_CUTOFF_SECONDS
+    minimum_reserve: int = DEFAULT_MINIMUM_RESERVE
+    maximum_reserve: Optional[int] = None
+    reserve_update_interval: float = 1.0
+    general_pool_size: int = 80
+    lengthy_pool_size: int = 20
+    header_pool_size: int = 8
+    static_pool_size: int = 16
+    render_pool_size: int = 16
+    static_extensions: FrozenSet[str] = DEFAULT_STATIC_EXTENSIONS
+    tracker_window: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        for field in (
+            "general_pool_size",
+            "lengthy_pool_size",
+            "header_pool_size",
+            "static_pool_size",
+            "render_pool_size",
+        ):
+            value = getattr(self, field)
+            if value < 1:
+                raise ValueError(f"{field} must be >= 1, got {value}")
+        if self.lengthy_cutoff <= 0:
+            raise ValueError(f"lengthy_cutoff must be positive, got {self.lengthy_cutoff}")
+        if self.minimum_reserve < 0:
+            raise ValueError(f"minimum_reserve must be >= 0, got {self.minimum_reserve}")
+        if self.minimum_reserve > self.general_pool_size:
+            raise ValueError(
+                f"minimum_reserve ({self.minimum_reserve}) cannot exceed "
+                f"general_pool_size ({self.general_pool_size})"
+            )
+        if self.maximum_reserve is not None:
+            if self.maximum_reserve < self.minimum_reserve:
+                raise ValueError(
+                    f"maximum_reserve ({self.maximum_reserve}) is below "
+                    f"minimum_reserve ({self.minimum_reserve})"
+                )
+            if self.maximum_reserve >= self.general_pool_size:
+                raise ValueError(
+                    f"maximum_reserve ({self.maximum_reserve}) must be below "
+                    f"general_pool_size ({self.general_pool_size})"
+                )
+        if self.reserve_update_interval <= 0:
+            raise ValueError(
+                f"reserve_update_interval must be positive, got "
+                f"{self.reserve_update_interval}"
+            )
+
+
+class SchedulingPolicy:
+    """The complete staged-scheduling policy of the paper."""
+
+    def __init__(
+        self,
+        config: Optional[PolicyConfig] = None,
+        dispatcher: Optional[Dispatcher] = None,
+    ):
+        self.config = config if config is not None else PolicyConfig()
+        self.tracker = ServiceTimeTracker(window=self.config.tracker_window)
+        self.classifier = RequestClassifier(
+            tracker=self.tracker,
+            lengthy_cutoff=self.config.lengthy_cutoff,
+            static_extensions=self.config.static_extensions,
+        )
+        # Cap treserve: growth is exponential (each tick adds the whole
+        # shortfall) while decay is roughly halving, so without a cap a
+        # saturated pool latches treserve near the pool size, where
+        # tspare can never exceed it and every lengthy request is
+        # diverted for minutes.  The cap bounds the reserve to what
+        # quick traffic can plausibly need; it must be strictly below
+        # the pool size so decay stays reachable.
+        if self.config.maximum_reserve is not None:
+            maximum = self.config.maximum_reserve
+        else:
+            maximum = max(self.config.minimum_reserve,
+                          self.config.general_pool_size - 1)
+        self.reserve = ReserveController(
+            minimum=self.config.minimum_reserve,
+            maximum=maximum,
+        )
+        self.dispatcher = dispatcher if dispatcher is not None else Dispatcher()
+
+    # ------------------------------------------------------------------
+    # Classification and routing
+    # ------------------------------------------------------------------
+    def classify(self, path: str) -> RequestClass:
+        """Classify a request path (static / quick / lengthy)."""
+        return self.classifier.classify(path)
+
+    def route(self, path: str, tspare: int) -> DynamicPoolChoice:
+        """Route a *dynamic* request given the current spare count.
+
+        Raises ``ValueError`` for static paths — the caller must send
+        those to the static pool directly.
+        """
+        request_class = self.classify(path)
+        return self.dispatcher.choose_pool(
+            request_class, tspare=tspare, treserve=self.reserve.treserve
+        )
+
+    # ------------------------------------------------------------------
+    # Feedback
+    # ------------------------------------------------------------------
+    def record_generation_time(self, path: str, seconds: float) -> None:
+        """Record a measured data-generation time for a dynamic page."""
+        self.tracker.record(self.classifier.page_key(path), seconds)
+
+    def tick(self, tspare: int) -> int:
+        """Apply the once-per-second treserve update; returns the delta."""
+        return self.reserve.update(tspare)
+
+    @property
+    def treserve(self) -> int:
+        return self.reserve.treserve

@@ -1,0 +1,109 @@
+"""The adaptive ``treserve`` controller (paper §3.3, Table 2).
+
+The general dynamic pool serves all quick requests and, when capacity
+allows, lengthy ones too.  ``tspare`` is the *measured* number of spare
+threads in the general pool; ``treserve`` is the *target* number of
+threads kept in reserve for quick requests.  A header-parsing thread
+routes a lengthy request to the general pool only while
+``tspare > treserve``.
+
+Update law, applied once per second:
+
+- If ``tspare`` drops **under** ``treserve`` (a suspected traffic
+  spike), raise ``treserve`` by the difference, plus the amount by
+  which ``tspare`` fell beneath the configured minimum, if any.
+- If ``tspare`` rises **above** ``treserve`` (the spike is ending),
+  lower ``treserve`` by *half* the difference (integer floor), never
+  below the configured minimum.
+- If equal, leave it unchanged.
+
+With a configured minimum of 20 and the tspare trace
+35, 24, 17, 21, 30, 36, 38, 37, 35, 39 this reproduces the paper's
+Table 2 exactly (asserted in ``tests/core/test_reserve.py``).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import List, Tuple
+
+DEFAULT_MINIMUM_RESERVE = 20
+DEFAULT_UPDATE_INTERVAL_SECONDS = 1.0
+
+
+class ReserveController:
+    """Maintains ``treserve`` against observed ``tspare``.
+
+    Parameters
+    ----------
+    minimum:
+        Configured floor for ``treserve`` (paper's example: 20).
+    initial:
+        Starting value; defaults to the minimum, as in Table 2.
+    """
+
+    def __init__(self, minimum: int = DEFAULT_MINIMUM_RESERVE,
+                 initial: int = None, maximum: int = None):
+        if minimum < 0:
+            raise ValueError(f"minimum reserve must be >= 0, got {minimum}")
+        self.minimum = int(minimum)
+        if maximum is not None and maximum < minimum:
+            raise ValueError(
+                f"maximum reserve {maximum} is below the minimum {minimum}"
+            )
+        # Cap treserve at the general pool size: reserving more threads
+        # than exist is meaningless, and without the cap a saturated
+        # pool (tspare pinned at 0) would grow treserve without bound
+        # (each tick adds the full current value).
+        self.maximum = int(maximum) if maximum is not None else None
+        if initial is None:
+            initial = minimum
+        if initial < minimum:
+            raise ValueError(
+                f"initial treserve {initial} is below the minimum {minimum}"
+            )
+        self._treserve = int(initial)
+        self._lock = threading.Lock()
+
+    @property
+    def treserve(self) -> int:
+        """The current reserve target."""
+        with self._lock:
+            return self._treserve
+
+    def update(self, tspare: int) -> int:
+        """Apply one once-per-second update and return the delta applied.
+
+        ``tspare`` is the measured spare-thread count in the general
+        pool at this tick.
+        """
+        if tspare < 0:
+            raise ValueError(f"tspare must be >= 0, got {tspare}")
+        with self._lock:
+            before = self._treserve
+            if tspare < self._treserve:
+                shortfall_below_minimum = max(0, self.minimum - tspare)
+                self._treserve += (self._treserve - tspare) + shortfall_below_minimum
+                if self.maximum is not None and self._treserve > self.maximum:
+                    self._treserve = self.maximum
+            elif tspare > self._treserve:
+                # Halve the excess, but always make progress: without
+                # the floor of 1, a difference of exactly 1 would leave
+                # treserve pinned forever.  (All of Table 2's decays
+                # are >= 1 already, so the trace is unaffected.)
+                decrease = max(1, (tspare - self._treserve) // 2)
+                self._treserve = max(self.minimum, self._treserve - decrease)
+            return self._treserve - before
+
+    def run_trace(self, tspare_trace: List[int]) -> List[Tuple[int, int, int]]:
+        """Replay a tspare trace; return (tspare, treserve_before, delta) rows.
+
+        ``treserve_before`` is the value *when the tick begins*, matching
+        the treserve column of the paper's Table 2.
+        """
+        rows = []
+        for tspare in tspare_trace:
+            before = self.treserve
+            delta = self.update(tspare)
+            rows.append((tspare, before, delta))
+        return rows

@@ -1,0 +1,62 @@
+"""From-scratch in-process SQL database with bounded connection pooling.
+
+This package stands in for the paper's MySQL 5.0 server.  What matters
+for reproducing the paper is not SQL completeness but the *resource
+behaviour* the evaluation hinges on:
+
+- a **bounded pool of connections** (the "precious database connection
+  resources") handed to threads and blocking when exhausted;
+- a fast/slow query dichotomy: "Most of the queries are either select
+  statements making use of an index, or insert statements adding a new
+  row" (fast), versus "large and very complex queries" (slow) — our
+  executor uses hash indexes when the WHERE clause allows it and
+  charges a :class:`CostModel` for every row scanned, sorted, grouped,
+  or written, so cost emerges from the plan exactly as in a real DBMS;
+- **table-level write locks**: the TPC-W admin-response page "performs
+  an update on a frequently used table ... it must acquire a lock on a
+  database table, forcing it to wait for other threads to finish" —
+  reproduced by the shared/exclusive :class:`LockManager`.
+
+The SQL subset: CREATE TABLE / CREATE INDEX / INSERT / SELECT (joins,
+WHERE with AND/OR/LIKE/IN/BETWEEN, GROUP BY with aggregates, ORDER BY,
+LIMIT/OFFSET) / UPDATE / DELETE, with ``%s`` parameter placeholders in
+the MySQLdb style the paper's code examples use.
+"""
+
+from repro.db.connection import Connection, Cursor
+from repro.db.cost import CostModel, SleepingCostModel
+from repro.db.engine import Database
+from repro.db.errors import (
+    ColumnError,
+    DatabaseError,
+    IntegrityError,
+    LockTimeoutError,
+    PoolClosedError,
+    PoolTimeoutError,
+    SQLSyntaxError,
+    TableError,
+)
+from repro.db.locks import LockManager, LockMode
+from repro.db.pool import ConnectionPool
+from repro.db.table import Column, Table
+
+__all__ = [
+    "Connection",
+    "Cursor",
+    "CostModel",
+    "SleepingCostModel",
+    "Database",
+    "ColumnError",
+    "DatabaseError",
+    "IntegrityError",
+    "LockTimeoutError",
+    "PoolClosedError",
+    "PoolTimeoutError",
+    "SQLSyntaxError",
+    "TableError",
+    "LockManager",
+    "LockMode",
+    "ConnectionPool",
+    "Column",
+    "Table",
+]

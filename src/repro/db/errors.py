@@ -1,0 +1,50 @@
+"""Database error hierarchy (DB-API-flavoured)."""
+
+from __future__ import annotations
+
+
+class DatabaseError(Exception):
+    """Base class for all database errors."""
+
+
+class SQLSyntaxError(DatabaseError):
+    """Malformed SQL text."""
+
+    def __init__(self, message: str, sql: str = "", position: int = -1):
+        suffix = ""
+        if sql:
+            snippet = sql if len(sql) <= 80 else sql[:77] + "..."
+            suffix = f" in {snippet!r}"
+            if position >= 0:
+                suffix += f" at position {position}"
+        super().__init__(f"{message}{suffix}")
+        self.sql = sql
+        self.position = position
+
+
+class TableError(DatabaseError):
+    """Unknown table, duplicate table, or similar schema-level problem."""
+
+
+class ColumnError(DatabaseError):
+    """Unknown or ambiguous column reference."""
+
+
+class IntegrityError(DatabaseError):
+    """Constraint violation (duplicate primary key, NOT NULL, type)."""
+
+
+class LockTimeoutError(DatabaseError):
+    """A table lock could not be acquired within the timeout."""
+
+
+class PoolTimeoutError(DatabaseError):
+    """No connection became available within the timeout."""
+
+
+class PoolClosedError(DatabaseError):
+    """The connection pool has been shut down."""
+
+
+class ProgrammingError(DatabaseError):
+    """API misuse: wrong parameter count, fetch before execute, ..."""

@@ -1,0 +1,187 @@
+"""Table-level shared/exclusive locking with FIFO fairness.
+
+Reproduces the behaviour the paper attributes to MySQL for the TPC-W
+admin-response page: an UPDATE "must acquire a lock on a database
+table, forcing it to wait for other threads to finish the use of the
+table."  Readers take shared locks; writers take exclusive locks; the
+wait queue is FIFO so a steady stream of readers cannot starve a
+waiting writer (and once the writer queues, later readers wait behind
+it — which is precisely why the admin page *slows down* on the modified
+server, where the other pages keep the table far busier).
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+from collections import deque
+from typing import Deque, Dict, Optional, Set, Tuple
+
+from repro.db.errors import LockTimeoutError
+
+
+class LockMode(enum.Enum):
+    SHARED = "shared"
+    EXCLUSIVE = "exclusive"
+
+
+class _TableLock:
+    """One table's lock state: holder set + FIFO waiter queue."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._mutex = threading.Lock()
+        self._holders: Set[int] = set()          # thread idents holding shared
+        self._exclusive_holder: Optional[int] = None
+        self._exclusive_depth = 0
+        self._waiters: Deque[Tuple[int, LockMode, threading.Condition]] = deque()
+
+    def acquire(self, mode: LockMode, timeout: Optional[float]) -> None:
+        me = threading.get_ident()
+        with self._mutex:
+            if self._try_grant(me, mode):
+                return
+            condition = threading.Condition(self._mutex)
+            ticket = (me, mode, condition)
+            self._waiters.append(ticket)
+            granted = condition.wait_for(
+                lambda: self._ticket_grantable(ticket), timeout=timeout
+            )
+            if not granted:
+                self._waiters.remove(ticket)
+                raise LockTimeoutError(
+                    f"timed out waiting for {mode.value} lock on table "
+                    f"{self.name!r}"
+                )
+            self._waiters.remove(ticket)
+            # The predicate guaranteed compatibility; grant directly,
+            # bypassing the FIFO check (we *were* the head / a rider).
+            self._grant(me, mode)
+            self._wake_next()
+
+    def _ticket_grantable(self, ticket) -> bool:
+        """A waiter may proceed when it is at the head of the queue and
+        the current holders are compatible with its mode."""
+        if not self._waiters or self._waiters[0] is not ticket:
+            # Allow a shared waiter to ride along if the head waiter is
+            # also shared and the lock state permits (batched readers).
+            if ticket[1] is LockMode.SHARED and self._waiters:
+                head = self._waiters[0]
+                if head[1] is LockMode.SHARED:
+                    return self._compatible(ticket[0], LockMode.SHARED)
+            return False
+        return self._compatible(ticket[0], ticket[1])
+
+    def _compatible(self, me: int, mode: LockMode) -> bool:
+        if mode is LockMode.SHARED:
+            return self._exclusive_holder is None or self._exclusive_holder == me
+        others_shared = self._holders - {me}
+        return not others_shared and (
+            self._exclusive_holder is None or self._exclusive_holder == me
+        )
+
+    def _try_grant(self, me: int, mode: LockMode) -> bool:
+        # A direct grant is only allowed when no one is queued (FIFO),
+        # unless the request is a reentrant upgrade-free re-acquire.
+        if self._waiters and not self._already_holds(me):
+            return False
+        if not self._compatible(me, mode):
+            return False
+        self._grant(me, mode)
+        return True
+
+    def _grant(self, me: int, mode: LockMode) -> None:
+        if mode is LockMode.SHARED:
+            self._holders.add(me)
+        else:
+            self._exclusive_holder = me
+            self._exclusive_depth += 1
+
+    def _already_holds(self, me: int) -> bool:
+        return me in self._holders or self._exclusive_holder == me
+
+    def release(self, mode: LockMode) -> None:
+        me = threading.get_ident()
+        with self._mutex:
+            if mode is LockMode.SHARED:
+                if me not in self._holders:
+                    raise RuntimeError(
+                        f"thread does not hold a shared lock on {self.name!r}"
+                    )
+                self._holders.discard(me)
+            else:
+                if self._exclusive_holder != me:
+                    raise RuntimeError(
+                        f"thread does not hold the exclusive lock on {self.name!r}"
+                    )
+                self._exclusive_depth -= 1
+                if self._exclusive_depth == 0:
+                    self._exclusive_holder = None
+            self._wake_next()
+
+    def _wake_next(self) -> None:
+        for _, __, condition in list(self._waiters):
+            condition.notify_all()
+
+    def queue_length(self) -> int:
+        with self._mutex:
+            return len(self._waiters)
+
+
+class LockManager:
+    """Creates and hands out per-table locks on demand."""
+
+    def __init__(self, default_timeout: Optional[float] = 60.0):
+        self._locks: Dict[str, _TableLock] = {}
+        self._mutex = threading.Lock()
+        self.default_timeout = default_timeout
+
+    def _lock_for(self, table: str) -> _TableLock:
+        with self._mutex:
+            lock = self._locks.get(table)
+            if lock is None:
+                lock = _TableLock(table)
+                self._locks[table] = lock
+            return lock
+
+    def acquire(self, table: str, mode: LockMode,
+                timeout: Optional[float] = None) -> None:
+        if timeout is None:
+            timeout = self.default_timeout
+        self._lock_for(table).acquire(mode, timeout)
+
+    def release(self, table: str, mode: LockMode) -> None:
+        self._lock_for(table).release(mode)
+
+    def queue_length(self, table: str) -> int:
+        return self._lock_for(table).queue_length()
+
+
+class LockScope:
+    """Context manager acquiring a set of (table, mode) locks in sorted
+    order (deadlock avoidance) and releasing them in reverse."""
+
+    def __init__(self, manager: LockManager, needs: Dict[str, LockMode],
+                 timeout: Optional[float] = None):
+        self._manager = manager
+        self._needs = sorted(needs.items())
+        self._timeout = timeout
+        self._held = []
+
+    def __enter__(self) -> "LockScope":
+        try:
+            for table, mode in self._needs:
+                self._manager.acquire(table, mode, timeout=self._timeout)
+                self._held.append((table, mode))
+        except BaseException:
+            self._release_all()
+            raise
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._release_all()
+
+    def _release_all(self) -> None:
+        while self._held:
+            table, mode = self._held.pop()
+            self._manager.release(table, mode)

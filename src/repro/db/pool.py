@@ -1,0 +1,143 @@
+"""The bounded database connection pool.
+
+"Connections to such a database are often stored in the web server's
+threads ... a limited number of database connections are stored and
+shared by the threads" (paper §1, §2.2).  This pool is that limit made
+explicit: at most ``size`` connections exist; :meth:`acquire` blocks
+when all are out.  The pool also measures what the paper's scheme
+optimises — how much of the time checked-out connections spend idle
+versus querying is decided by *who* holds them and for how long.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Callable, Deque, Optional
+
+from repro.db.connection import Connection
+from repro.db.engine import Database
+from repro.db.errors import PoolClosedError, PoolTimeoutError
+
+
+class ConnectionPool:
+    """A fixed-size, blocking pool of :class:`Connection` objects.
+
+    Connections are created lazily up to ``size`` and recycled on
+    release.  ``acquire`` blocks (optionally with a timeout) when the
+    pool is exhausted — the situation the thread-per-request model
+    creates whenever more workers want the database than connections
+    exist.
+    """
+
+    def __init__(self, database: Database, size: int,
+                 clock: Callable[[], float] = time.monotonic):
+        if size < 1:
+            raise ValueError(f"pool size must be >= 1, got {size}")
+        self.database = database
+        self.size = size
+        self._clock = clock
+        self._idle: Deque[Connection] = deque()
+        self._all: list = []
+        self._created = 0
+        self._in_use = 0
+        self._closed = False
+        self._mutex = threading.Lock()
+        self._available = threading.Condition(self._mutex)
+        # -- statistics
+        self.total_acquires = 0
+        self.total_wait_seconds = 0.0
+        self.peak_in_use = 0
+
+    # ------------------------------------------------------------------
+    def acquire(self, timeout: Optional[float] = None) -> Connection:
+        """Check out a connection, blocking while none are free."""
+        start = self._clock()
+        with self._available:
+            if self._closed:
+                raise PoolClosedError("connection pool is closed")
+            while not self._idle and self._created >= self.size:
+                if not self._available.wait(timeout=timeout):
+                    raise PoolTimeoutError(
+                        f"no connection available within {timeout}s "
+                        f"(pool size {self.size})"
+                    )
+                if self._closed:
+                    raise PoolClosedError("connection pool is closed")
+            if self._idle:
+                connection = self._idle.popleft()
+            else:
+                connection = Connection(self.database)
+                self._all.append(connection)
+                self._created += 1
+            self._in_use += 1
+            self.peak_in_use = max(self.peak_in_use, self._in_use)
+            self.total_acquires += 1
+            self.total_wait_seconds += self._clock() - start
+            return connection
+
+    def release(self, connection: Connection) -> None:
+        """Return a connection to the pool."""
+        with self._available:
+            if connection.closed:
+                # A handler closed it outright: replace capacity.
+                self._created -= 1
+            else:
+                self._idle.append(connection)
+            self._in_use -= 1
+            self._available.notify()
+
+    class _Lease:
+        def __init__(self, pool: "ConnectionPool", timeout: Optional[float]):
+            self._pool = pool
+            self._timeout = timeout
+            self.connection: Optional[Connection] = None
+
+        def __enter__(self) -> Connection:
+            self.connection = self._pool.acquire(timeout=self._timeout)
+            return self.connection
+
+        def __exit__(self, *exc_info) -> None:
+            if self.connection is not None:
+                self._pool.release(self.connection)
+                self.connection = None
+
+    def lease(self, timeout: Optional[float] = None) -> "_Lease":
+        """``with pool.lease() as conn:`` acquire/release scope."""
+        return self._Lease(self, timeout)
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut the pool down; waiting acquirers get PoolClosedError."""
+        with self._available:
+            self._closed = True
+            while self._idle:
+                self._idle.popleft().close()
+            self._available.notify_all()
+
+    @property
+    def in_use(self) -> int:
+        with self._mutex:
+            return self._in_use
+
+    @property
+    def idle(self) -> int:
+        with self._mutex:
+            return len(self._idle)
+
+    def connections(self) -> list:
+        """Every connection this pool has created (for statistics)."""
+        with self._mutex:
+            return list(self._all)
+
+    def total_busy_seconds(self) -> float:
+        """Total statement-execution time across all connections."""
+        return sum(c.busy_seconds for c in self.connections())
+
+    @property
+    def mean_wait_seconds(self) -> float:
+        with self._mutex:
+            if self.total_acquires == 0:
+                return 0.0
+            return self.total_wait_seconds / self.total_acquires

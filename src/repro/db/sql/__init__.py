@@ -1,0 +1,51 @@
+"""SQL subset: lexer, AST, recursive-descent parser, executor."""
+
+from repro.db.sql.ast import (
+    BinaryOp,
+    Between,
+    ColumnRef,
+    CreateIndex,
+    CreateTable,
+    Delete,
+    FuncCall,
+    InList,
+    Insert,
+    IsNull,
+    Like,
+    Literal,
+    Placeholder,
+    Select,
+    SelectItem,
+    Statement,
+    UnaryOp,
+    Update,
+)
+from repro.db.sql.lexer import Token, tokenize_sql
+from repro.db.sql.parser import parse_sql
+from repro.db.sql.executor import Executor, ResultSet
+
+__all__ = [
+    "BinaryOp",
+    "Between",
+    "ColumnRef",
+    "CreateIndex",
+    "CreateTable",
+    "Delete",
+    "FuncCall",
+    "InList",
+    "Insert",
+    "IsNull",
+    "Like",
+    "Literal",
+    "Placeholder",
+    "Select",
+    "SelectItem",
+    "Statement",
+    "UnaryOp",
+    "Update",
+    "Token",
+    "tokenize_sql",
+    "parse_sql",
+    "Executor",
+    "ResultSet",
+]

@@ -1,0 +1,208 @@
+"""SQL abstract syntax tree nodes.
+
+All nodes are immutable dataclasses; parsed statements are cached by
+SQL text in the engine, so one AST may be executed concurrently by many
+threads with different parameter bindings.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, List, Optional, Tuple
+
+from repro.db.table import Column
+
+
+# ----------------------------------------------------------------------
+# Expressions
+# ----------------------------------------------------------------------
+
+class Expression:
+    """Base class for expressions."""
+
+
+@dataclasses.dataclass(frozen=True)
+class Literal(Expression):
+    value: Any
+
+
+@dataclasses.dataclass(frozen=True)
+class Placeholder(Expression):
+    """A ``%s`` parameter; ``index`` is its 0-based position."""
+
+    index: int
+
+
+@dataclasses.dataclass(frozen=True)
+class ColumnRef(Expression):
+    """``name`` or ``alias.name``."""
+
+    name: str
+    table: Optional[str] = None
+
+    def __str__(self) -> str:
+        return f"{self.table}.{self.name}" if self.table else self.name
+
+
+@dataclasses.dataclass(frozen=True)
+class BinaryOp(Expression):
+    """Comparison, arithmetic, AND/OR."""
+
+    op: str  # = <> < > <= >= + - * / AND OR
+    left: Expression
+    right: Expression
+
+
+@dataclasses.dataclass(frozen=True)
+class UnaryOp(Expression):
+    op: str  # NOT, -
+    operand: Expression
+
+
+@dataclasses.dataclass(frozen=True)
+class FuncCall(Expression):
+    """Aggregate call: COUNT/SUM/AVG/MIN/MAX.  ``star`` for COUNT(*)."""
+
+    name: str
+    argument: Optional[Expression] = None
+    star: bool = False
+    distinct: bool = False
+
+
+@dataclasses.dataclass(frozen=True)
+class InList(Expression):
+    operand: Expression
+    options: Tuple[Expression, ...]
+    negated: bool = False
+
+
+@dataclasses.dataclass(frozen=True)
+class InSubquery(Expression):
+    """``operand IN (SELECT ...)`` — uncorrelated subqueries only.
+
+    The subquery is evaluated once per statement and materialised as a
+    set of its first column's values.
+    """
+
+    operand: Expression
+    subquery: "Select"
+    negated: bool = False
+
+
+@dataclasses.dataclass(frozen=True)
+class Like(Expression):
+    operand: Expression
+    pattern: Expression
+    negated: bool = False
+
+
+@dataclasses.dataclass(frozen=True)
+class Between(Expression):
+    operand: Expression
+    low: Expression
+    high: Expression
+    negated: bool = False
+
+
+@dataclasses.dataclass(frozen=True)
+class IsNull(Expression):
+    operand: Expression
+    negated: bool = False
+
+
+# ----------------------------------------------------------------------
+# Statements
+# ----------------------------------------------------------------------
+
+class Statement:
+    """Base class for statements."""
+
+
+@dataclasses.dataclass(frozen=True)
+class SelectItem:
+    """One projection: expression plus optional ``AS alias``."""
+
+    expression: Expression
+    alias: Optional[str] = None
+    star: bool = False
+    star_table: Optional[str] = None  # for ``alias.*``
+
+
+@dataclasses.dataclass(frozen=True)
+class Join:
+    """``JOIN table [alias] ON left = right`` (equi-joins only)."""
+
+    table: str
+    alias: str
+    left: ColumnRef
+    right: ColumnRef
+    outer: bool = False  # LEFT JOIN
+
+
+@dataclasses.dataclass(frozen=True)
+class OrderItem:
+    expression: Expression
+    ascending: bool = True
+
+
+@dataclasses.dataclass(frozen=True)
+class Select(Statement):
+    items: Tuple[SelectItem, ...]
+    table: Optional[str] = None
+    alias: Optional[str] = None
+    joins: Tuple[Join, ...] = ()
+    where: Optional[Expression] = None
+    group_by: Tuple[Expression, ...] = ()
+    having: Optional[Expression] = None
+    order_by: Tuple[OrderItem, ...] = ()
+    limit: Optional[Expression] = None
+    offset: Optional[Expression] = None
+    distinct: bool = False
+
+
+@dataclasses.dataclass(frozen=True)
+class Insert(Statement):
+    table: str
+    columns: Tuple[str, ...]
+    rows: Tuple[Tuple[Expression, ...], ...]
+
+
+@dataclasses.dataclass(frozen=True)
+class Update(Statement):
+    table: str
+    assignments: Tuple[Tuple[str, Expression], ...]
+    where: Optional[Expression] = None
+
+
+@dataclasses.dataclass(frozen=True)
+class Delete(Statement):
+    table: str
+    where: Optional[Expression] = None
+
+
+@dataclasses.dataclass(frozen=True)
+class CreateTable(Statement):
+    name: str
+    columns: Tuple[Column, ...]
+
+
+@dataclasses.dataclass(frozen=True)
+class CreateIndex(Statement):
+    name: str
+    table: str
+    column: str
+
+
+@dataclasses.dataclass(frozen=True)
+class Begin(Statement):
+    """BEGIN or START TRANSACTION."""
+
+
+@dataclasses.dataclass(frozen=True)
+class Commit(Statement):
+    """COMMIT."""
+
+
+@dataclasses.dataclass(frozen=True)
+class Rollback(Statement):
+    """ROLLBACK."""

@@ -1,0 +1,135 @@
+"""SQL tokenizer."""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import List
+
+from repro.db.errors import SQLSyntaxError
+
+
+class TokenKind(enum.Enum):
+    KEYWORD = "keyword"        # normalised to uppercase
+    IDENTIFIER = "identifier"
+    NUMBER = "number"
+    STRING = "string"
+    OPERATOR = "operator"      # = <> != < > <= >= + - * /
+    PUNCT = "punct"            # ( ) , . ;
+    PLACEHOLDER = "placeholder"  # %s
+    END = "end"
+
+
+KEYWORDS = frozenset(
+    """
+    SELECT FROM WHERE AND OR NOT IN LIKE BETWEEN IS NULL AS
+    ORDER BY GROUP HAVING LIMIT OFFSET ASC DESC DISTINCT
+    INSERT INTO VALUES UPDATE SET DELETE
+    CREATE TABLE INDEX ON PRIMARY KEY AUTO_INCREMENT
+    JOIN INNER LEFT
+    BEGIN START TRANSACTION COMMIT ROLLBACK
+    COUNT SUM AVG MIN MAX
+    TRUE FALSE
+    """.split()
+)
+
+_OPERATOR_STARTS = "=<>!+-*/"
+_TWO_CHAR_OPERATORS = frozenset({"<>", "!=", "<=", ">="})
+
+
+@dataclasses.dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    value: str
+    position: int
+
+    def matches(self, kind: TokenKind, value: str = None) -> bool:
+        if self.kind is not kind:
+            return False
+        return value is None or self.value == value
+
+
+def tokenize_sql(sql: str) -> List[Token]:
+    """Tokenize a SQL string.  ``%s`` becomes a PLACEHOLDER token."""
+    tokens: List[Token] = []
+    i = 0
+    n = len(sql)
+    while i < n:
+        ch = sql[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "%" and i + 1 < n and sql[i + 1] == "s":
+            tokens.append(Token(TokenKind.PLACEHOLDER, "%s", i))
+            i += 2
+            continue
+        if ch == "'" or ch == '"':
+            start = i
+            i += 1
+            buf = []
+            while i < n:
+                if sql[i] == ch:
+                    if i + 1 < n and sql[i + 1] == ch:  # doubled quote escape
+                        buf.append(ch)
+                        i += 2
+                        continue
+                    break
+                buf.append(sql[i])
+                i += 1
+            else:
+                raise SQLSyntaxError("unterminated string literal", sql, start)
+            i += 1
+            tokens.append(Token(TokenKind.STRING, "".join(buf), start))
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and sql[i + 1].isdigit()):
+            start = i
+            seen_dot = False
+            while i < n and (sql[i].isdigit() or (sql[i] == "." and not seen_dot)):
+                if sql[i] == ".":
+                    # a dot not followed by a digit terminates the number
+                    if i + 1 >= n or not sql[i + 1].isdigit():
+                        break
+                    seen_dot = True
+                i += 1
+            tokens.append(Token(TokenKind.NUMBER, sql[start:i], start))
+            continue
+        if ch.isalpha() or ch == "_" or ch == "`":
+            start = i
+            if ch == "`":  # backtick-quoted identifier
+                i += 1
+                ident_start = i
+                while i < n and sql[i] != "`":
+                    i += 1
+                if i >= n:
+                    raise SQLSyntaxError("unterminated backtick identifier", sql, start)
+                word = sql[ident_start:i]
+                i += 1
+                tokens.append(Token(TokenKind.IDENTIFIER, word, start))
+                continue
+            while i < n and (sql[i].isalnum() or sql[i] == "_"):
+                i += 1
+            word = sql[start:i]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token(TokenKind.KEYWORD, upper, start))
+            else:
+                tokens.append(Token(TokenKind.IDENTIFIER, word, start))
+            continue
+        if ch in _OPERATOR_STARTS:
+            two = sql[i : i + 2]
+            if two in _TWO_CHAR_OPERATORS:
+                tokens.append(Token(TokenKind.OPERATOR, two, i))
+                i += 2
+            else:
+                if ch == "!":
+                    raise SQLSyntaxError("unexpected '!'", sql, i)
+                tokens.append(Token(TokenKind.OPERATOR, ch, i))
+                i += 1
+            continue
+        if ch in "(),.;":
+            tokens.append(Token(TokenKind.PUNCT, ch, i))
+            i += 1
+            continue
+        raise SQLSyntaxError(f"unexpected character {ch!r}", sql, i)
+    tokens.append(Token(TokenKind.END, "", n))
+    return tokens

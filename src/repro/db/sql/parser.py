@@ -1,0 +1,513 @@
+"""Recursive-descent SQL parser."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.db.errors import SQLSyntaxError
+from repro.db.sql.ast import (
+    Begin,
+    Between,
+    BinaryOp,
+    Commit,
+    ColumnRef,
+    InSubquery,
+    CreateIndex,
+    CreateTable,
+    Delete,
+    Expression,
+    FuncCall,
+    InList,
+    Insert,
+    IsNull,
+    Join,
+    Like,
+    Literal,
+    OrderItem,
+    Placeholder,
+    Rollback,
+    Select,
+    SelectItem,
+    Statement,
+    UnaryOp,
+    Update,
+)
+from repro.db.sql.lexer import Token, TokenKind, tokenize_sql
+from repro.db.table import Column
+
+_AGGREGATES = frozenset({"COUNT", "SUM", "AVG", "MIN", "MAX"})
+_COMPARISONS = frozenset({"=", "<>", "!=", "<", ">", "<=", ">="})
+
+
+class _Parser:
+    def __init__(self, sql: str):
+        self.sql = sql
+        self.tokens: List[Token] = tokenize_sql(sql)
+        self.pos = 0
+        self._placeholder_count = 0
+
+    # -- token helpers -------------------------------------------------
+    def peek(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.kind is not TokenKind.END:
+            self.pos += 1
+        return token
+
+    def error(self, message: str) -> SQLSyntaxError:
+        return SQLSyntaxError(message, self.sql, self.peek().position)
+
+    def accept_keyword(self, *keywords: str) -> Optional[str]:
+        token = self.peek()
+        if token.kind is TokenKind.KEYWORD and token.value in keywords:
+            self.advance()
+            return token.value
+        return None
+
+    def expect_keyword(self, keyword: str) -> None:
+        if not self.accept_keyword(keyword):
+            raise self.error(f"expected {keyword}, got {self.peek().value!r}")
+
+    def accept_punct(self, value: str) -> bool:
+        token = self.peek()
+        if token.kind is TokenKind.PUNCT and token.value == value:
+            self.advance()
+            return True
+        return False
+
+    def expect_punct(self, value: str) -> None:
+        if not self.accept_punct(value):
+            raise self.error(f"expected {value!r}, got {self.peek().value!r}")
+
+    def expect_identifier(self, what: str = "identifier") -> str:
+        token = self.peek()
+        if token.kind is TokenKind.IDENTIFIER:
+            self.advance()
+            return token.value
+        # Permit non-reserved keywords used as identifiers (e.g. a
+        # column named "key" would arrive as KEYWORD KEY).
+        if token.kind is TokenKind.KEYWORD and token.value in ("KEY", "ON"):
+            self.advance()
+            return token.value.lower()
+        raise self.error(f"expected {what}, got {token.value!r}")
+
+    # -- entry ----------------------------------------------------------
+    def parse(self) -> Statement:
+        token = self.peek()
+        if token.kind is not TokenKind.KEYWORD:
+            raise self.error(f"expected a statement keyword, got {token.value!r}")
+        statement: Statement
+        if token.value == "SELECT":
+            statement = self.parse_select()
+        elif token.value == "INSERT":
+            statement = self.parse_insert()
+        elif token.value == "UPDATE":
+            statement = self.parse_update()
+        elif token.value == "DELETE":
+            statement = self.parse_delete()
+        elif token.value == "CREATE":
+            statement = self.parse_create()
+        elif token.value in ("BEGIN", "START"):
+            statement = self.parse_begin()
+        elif token.value == "COMMIT":
+            self.advance()
+            statement = Commit()
+        elif token.value == "ROLLBACK":
+            self.advance()
+            statement = Rollback()
+        else:
+            raise self.error(f"unsupported statement {token.value!r}")
+        self.accept_punct(";")
+        if self.peek().kind is not TokenKind.END:
+            raise self.error(f"trailing input: {self.peek().value!r}")
+        return statement
+
+    def parse_begin(self) -> Begin:
+        keyword = self.advance().value
+        if keyword == "START":
+            self.expect_keyword("TRANSACTION")
+        else:
+            self.accept_keyword("TRANSACTION")
+        return Begin()
+
+    # -- SELECT ----------------------------------------------------------
+    def parse_select(self) -> Select:
+        self.expect_keyword("SELECT")
+        distinct = bool(self.accept_keyword("DISTINCT"))
+        items = [self.parse_select_item()]
+        while self.accept_punct(","):
+            items.append(self.parse_select_item())
+
+        table = alias = None
+        joins: List[Join] = []
+        if self.accept_keyword("FROM"):
+            table = self.expect_identifier("table name")
+            alias = self._optional_alias() or table
+            while True:
+                outer = False
+                if self.accept_keyword("LEFT"):
+                    outer = True
+                    self.expect_keyword("JOIN")
+                elif self.accept_keyword("INNER"):
+                    self.expect_keyword("JOIN")
+                elif not self.accept_keyword("JOIN"):
+                    break
+                join_table = self.expect_identifier("join table name")
+                join_alias = self._optional_alias() or join_table
+                self.expect_keyword("ON")
+                left = self._expect_column_ref()
+                token = self.peek()
+                if not (token.kind is TokenKind.OPERATOR and token.value == "="):
+                    raise self.error("only equi-joins (ON a = b) are supported")
+                self.advance()
+                right = self._expect_column_ref()
+                joins.append(Join(join_table, join_alias, left, right, outer))
+
+        where = self.parse_expression() if self.accept_keyword("WHERE") else None
+
+        group_by: List[Expression] = []
+        if self.accept_keyword("GROUP"):
+            self.expect_keyword("BY")
+            group_by.append(self.parse_expression())
+            while self.accept_punct(","):
+                group_by.append(self.parse_expression())
+
+        having = self.parse_expression() if self.accept_keyword("HAVING") else None
+
+        order_by: List[OrderItem] = []
+        if self.accept_keyword("ORDER"):
+            self.expect_keyword("BY")
+            order_by.append(self._parse_order_item())
+            while self.accept_punct(","):
+                order_by.append(self._parse_order_item())
+
+        limit = offset = None
+        if self.accept_keyword("LIMIT"):
+            limit = self.parse_primary()
+            if self.accept_keyword("OFFSET"):
+                offset = self.parse_primary()
+            elif self.accept_punct(","):
+                # MySQL's LIMIT offset, count
+                offset = limit
+                limit = self.parse_primary()
+
+        return Select(
+            items=tuple(items),
+            table=table,
+            alias=alias,
+            joins=tuple(joins),
+            where=where,
+            group_by=tuple(group_by),
+            having=having,
+            order_by=tuple(order_by),
+            limit=limit,
+            offset=offset,
+            distinct=distinct,
+        )
+
+    def parse_select_item(self) -> SelectItem:
+        token = self.peek()
+        if token.kind is TokenKind.OPERATOR and token.value == "*":
+            self.advance()
+            return SelectItem(Literal(None), star=True)
+        # alias.* form
+        if (
+            token.kind is TokenKind.IDENTIFIER
+            and self.tokens[self.pos + 1].matches(TokenKind.PUNCT, ".")
+            and self.tokens[self.pos + 2].matches(TokenKind.OPERATOR, "*")
+        ):
+            self.advance()
+            self.advance()
+            self.advance()
+            return SelectItem(Literal(None), star=True, star_table=token.value)
+        expression = self.parse_expression()
+        alias = None
+        if self.accept_keyword("AS"):
+            alias = self.expect_identifier("alias")
+        elif self.peek().kind is TokenKind.IDENTIFIER:
+            alias = self.advance().value
+        return SelectItem(expression, alias=alias)
+
+    def _optional_alias(self) -> Optional[str]:
+        if self.accept_keyword("AS"):
+            return self.expect_identifier("alias")
+        if self.peek().kind is TokenKind.IDENTIFIER:
+            return self.advance().value
+        return None
+
+    def _parse_order_item(self) -> OrderItem:
+        expression = self.parse_expression()
+        ascending = True
+        if self.accept_keyword("DESC"):
+            ascending = False
+        else:
+            self.accept_keyword("ASC")
+        return OrderItem(expression, ascending)
+
+    def _expect_column_ref(self) -> ColumnRef:
+        name = self.expect_identifier("column reference")
+        if self.accept_punct("."):
+            return ColumnRef(self.expect_identifier("column name"), table=name)
+        return ColumnRef(name)
+
+    # -- INSERT ----------------------------------------------------------
+    def parse_insert(self) -> Insert:
+        self.expect_keyword("INSERT")
+        self.expect_keyword("INTO")
+        table = self.expect_identifier("table name")
+        columns: List[str] = []
+        if self.accept_punct("("):
+            columns.append(self.expect_identifier("column name"))
+            while self.accept_punct(","):
+                columns.append(self.expect_identifier("column name"))
+            self.expect_punct(")")
+        self.expect_keyword("VALUES")
+        rows: List[Tuple[Expression, ...]] = []
+        while True:
+            self.expect_punct("(")
+            values = [self.parse_expression()]
+            while self.accept_punct(","):
+                values.append(self.parse_expression())
+            self.expect_punct(")")
+            if columns and len(values) != len(columns):
+                raise self.error(
+                    f"INSERT row has {len(values)} values for "
+                    f"{len(columns)} columns"
+                )
+            rows.append(tuple(values))
+            if not self.accept_punct(","):
+                break
+        return Insert(table, tuple(columns), tuple(rows))
+
+    # -- UPDATE ----------------------------------------------------------
+    def parse_update(self) -> Update:
+        self.expect_keyword("UPDATE")
+        table = self.expect_identifier("table name")
+        self.expect_keyword("SET")
+        assignments: List[Tuple[str, Expression]] = []
+        while True:
+            column = self.expect_identifier("column name")
+            token = self.peek()
+            if not (token.kind is TokenKind.OPERATOR and token.value == "="):
+                raise self.error(f"expected '=' in SET, got {token.value!r}")
+            self.advance()
+            assignments.append((column, self.parse_expression()))
+            if not self.accept_punct(","):
+                break
+        where = self.parse_expression() if self.accept_keyword("WHERE") else None
+        return Update(table, tuple(assignments), where)
+
+    # -- DELETE ----------------------------------------------------------
+    def parse_delete(self) -> Delete:
+        self.expect_keyword("DELETE")
+        self.expect_keyword("FROM")
+        table = self.expect_identifier("table name")
+        where = self.parse_expression() if self.accept_keyword("WHERE") else None
+        return Delete(table, where)
+
+    # -- CREATE ----------------------------------------------------------
+    def parse_create(self) -> Statement:
+        self.expect_keyword("CREATE")
+        if self.accept_keyword("TABLE"):
+            return self._parse_create_table()
+        if self.accept_keyword("INDEX"):
+            return self._parse_create_index()
+        raise self.error("expected TABLE or INDEX after CREATE")
+
+    def _parse_create_table(self) -> CreateTable:
+        name = self.expect_identifier("table name")
+        self.expect_punct("(")
+        columns: List[Column] = []
+        while True:
+            columns.append(self._parse_column_def())
+            if not self.accept_punct(","):
+                break
+        self.expect_punct(")")
+        return CreateTable(name, tuple(columns))
+
+    def _parse_column_def(self) -> Column:
+        name = self.expect_identifier("column name")
+        type_token = self.peek()
+        if type_token.kind not in (TokenKind.IDENTIFIER, TokenKind.KEYWORD):
+            raise self.error(f"expected a column type, got {type_token.value!r}")
+        self.advance()
+        type_name = type_token.value.upper()
+        if self.accept_punct("("):
+            size = self.advance().value
+            if self.accept_punct(","):
+                size += "," + self.advance().value
+            self.expect_punct(")")
+            type_name = f"{type_name}({size})"
+        primary_key = auto_increment = False
+        nullable = True
+        while True:
+            if self.accept_keyword("PRIMARY"):
+                self.expect_keyword("KEY")
+                primary_key = True
+            elif self.accept_keyword("AUTO_INCREMENT"):
+                auto_increment = True
+            elif self.accept_keyword("NOT"):
+                self.expect_keyword("NULL")
+                nullable = False
+            elif self.accept_keyword("NULL"):
+                nullable = True
+            else:
+                break
+        return Column(
+            name=name,
+            type=type_name,
+            primary_key=primary_key,
+            auto_increment=auto_increment,
+            nullable=nullable,
+        )
+
+    def _parse_create_index(self) -> CreateIndex:
+        name = self.expect_identifier("index name")
+        self.expect_keyword("ON")
+        table = self.expect_identifier("table name")
+        self.expect_punct("(")
+        column = self.expect_identifier("column name")
+        self.expect_punct(")")
+        return CreateIndex(name, table, column)
+
+    # -- Expressions -----------------------------------------------------
+    # Precedence: OR < AND < NOT < comparison/IN/LIKE/BETWEEN/IS < +- < */
+    def parse_expression(self) -> Expression:
+        return self.parse_or()
+
+    def parse_or(self) -> Expression:
+        left = self.parse_and()
+        while self.accept_keyword("OR"):
+            left = BinaryOp("OR", left, self.parse_and())
+        return left
+
+    def parse_and(self) -> Expression:
+        left = self.parse_not()
+        while self.accept_keyword("AND"):
+            left = BinaryOp("AND", left, self.parse_not())
+        return left
+
+    def parse_not(self) -> Expression:
+        if self.accept_keyword("NOT"):
+            return UnaryOp("NOT", self.parse_not())
+        return self.parse_predicate()
+
+    def parse_predicate(self) -> Expression:
+        left = self.parse_additive()
+        token = self.peek()
+        if token.kind is TokenKind.OPERATOR and token.value in _COMPARISONS:
+            op = self.advance().value
+            if op == "!=":
+                op = "<>"
+            return BinaryOp(op, left, self.parse_additive())
+        negated = False
+        if token.kind is TokenKind.KEYWORD and token.value == "NOT":
+            following = self.tokens[self.pos + 1]
+            if following.kind is TokenKind.KEYWORD and following.value in (
+                "IN", "LIKE", "BETWEEN",
+            ):
+                self.advance()
+                negated = True
+                token = self.peek()
+        if self.accept_keyword("IN"):
+            self.expect_punct("(")
+            if self.peek().matches(TokenKind.KEYWORD, "SELECT"):
+                subquery = self.parse_select()
+                self.expect_punct(")")
+                return InSubquery(left, subquery, negated)
+            options = [self.parse_expression()]
+            while self.accept_punct(","):
+                options.append(self.parse_expression())
+            self.expect_punct(")")
+            return InList(left, tuple(options), negated)
+        if self.accept_keyword("LIKE"):
+            return Like(left, self.parse_additive(), negated)
+        if self.accept_keyword("BETWEEN"):
+            low = self.parse_additive()
+            self.expect_keyword("AND")
+            high = self.parse_additive()
+            return Between(left, low, high, negated)
+        if self.accept_keyword("IS"):
+            is_negated = bool(self.accept_keyword("NOT"))
+            self.expect_keyword("NULL")
+            return IsNull(left, is_negated)
+        return left
+
+    def parse_additive(self) -> Expression:
+        left = self.parse_multiplicative()
+        while True:
+            token = self.peek()
+            if token.kind is TokenKind.OPERATOR and token.value in ("+", "-"):
+                op = self.advance().value
+                left = BinaryOp(op, left, self.parse_multiplicative())
+            else:
+                return left
+
+    def parse_multiplicative(self) -> Expression:
+        left = self.parse_primary()
+        while True:
+            token = self.peek()
+            if token.kind is TokenKind.OPERATOR and token.value in ("*", "/"):
+                op = self.advance().value
+                left = BinaryOp(op, left, self.parse_primary())
+            else:
+                return left
+
+    def parse_primary(self) -> Expression:
+        token = self.peek()
+        if token.kind is TokenKind.PLACEHOLDER:
+            self.advance()
+            index = self._placeholder_count
+            self._placeholder_count += 1
+            return Placeholder(index)
+        if token.kind is TokenKind.NUMBER:
+            self.advance()
+            text = token.value
+            return Literal(float(text) if "." in text else int(text))
+        if token.kind is TokenKind.STRING:
+            self.advance()
+            return Literal(token.value)
+        if token.kind is TokenKind.KEYWORD:
+            if token.value == "NULL":
+                self.advance()
+                return Literal(None)
+            if token.value == "TRUE":
+                self.advance()
+                return Literal(1)
+            if token.value == "FALSE":
+                self.advance()
+                return Literal(0)
+            if token.value in _AGGREGATES:
+                return self._parse_aggregate()
+        if token.kind is TokenKind.OPERATOR and token.value == "-":
+            self.advance()
+            return UnaryOp("-", self.parse_primary())
+        if token.kind is TokenKind.PUNCT and token.value == "(":
+            self.advance()
+            inner = self.parse_expression()
+            self.expect_punct(")")
+            return inner
+        if token.kind is TokenKind.IDENTIFIER:
+            return self._expect_column_ref()
+        raise self.error(f"unexpected token {token.value!r} in expression")
+
+    def _parse_aggregate(self) -> FuncCall:
+        name = self.advance().value  # the aggregate keyword
+        self.expect_punct("(")
+        if self.peek().matches(TokenKind.OPERATOR, "*"):
+            self.advance()
+            self.expect_punct(")")
+            if name != "COUNT":
+                raise self.error(f"{name}(*) is not valid; only COUNT(*)")
+            return FuncCall(name, star=True)
+        distinct = bool(self.accept_keyword("DISTINCT"))
+        argument = self.parse_expression()
+        self.expect_punct(")")
+        return FuncCall(name, argument=argument, distinct=distinct)
+
+
+def parse_sql(sql: str) -> Statement:
+    """Parse one SQL statement into an AST."""
+    return _Parser(sql).parse()

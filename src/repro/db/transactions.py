@@ -1,0 +1,150 @@
+"""Transactions: BEGIN / COMMIT / ROLLBACK with an undo log.
+
+TPC-W's buy-confirm interaction performs a multi-statement write
+(order + order lines + payment + cart cleanup); a real deployment wraps
+it in a transaction so a failure cannot leave a half-written order.
+This module adds that capability to the engine:
+
+- :class:`UndoLog` records inverse operations (delete-on-insert,
+  restore-on-update, reinsert-on-delete) as statements execute;
+- :class:`Transaction` scopes a log to a connection and applies the
+  undo entries in reverse on rollback.
+
+Isolation note: like MyISAM (which has no transactions at all — this
+is strictly more than the paper's substrate provides), writes become
+visible to other connections immediately; rollback is *atomicity*, not
+isolation.  That is sufficient for the failure-recovery tests and the
+buy-confirm use case, and it keeps the locking story identical to the
+non-transactional path.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.db.errors import DatabaseError
+from repro.db.table import Table
+
+
+class TransactionError(DatabaseError):
+    """Misuse of the transaction API (nested begin, commit w/o begin)."""
+
+
+@dataclasses.dataclass
+class _UndoEntry:
+    description: str
+    apply: Callable[[], None]
+
+
+class UndoLog:
+    """Inverse operations for one transaction, applied LIFO on rollback."""
+
+    def __init__(self) -> None:
+        self._entries: List[_UndoEntry] = []
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def record_insert(self, table: Table, row_id: int) -> None:
+        def undo() -> None:
+            if row_id in table.rows:
+                table.delete_row(row_id)
+
+        with self._lock:
+            self._entries.append(
+                _UndoEntry(f"delete inserted row {row_id} of {table.name}", undo)
+            )
+
+    def record_update(self, table: Table, row_id: int,
+                      before: Dict[str, Any]) -> None:
+        snapshot = dict(before)
+
+        def undo() -> None:
+            if row_id in table.rows:
+                table.update_row(row_id, snapshot)
+
+        with self._lock:
+            self._entries.append(
+                _UndoEntry(f"restore row {row_id} of {table.name}", undo)
+            )
+
+    def record_delete(self, table: Table, row: Dict[str, Any]) -> None:
+        snapshot = dict(row)
+
+        def undo() -> None:
+            table.insert(snapshot)
+
+        with self._lock:
+            self._entries.append(
+                _UndoEntry(f"reinsert deleted row of {table.name}", undo)
+            )
+
+    def rollback(self) -> int:
+        """Apply all undo entries in reverse; returns how many ran."""
+        with self._lock:
+            entries, self._entries = self._entries, []
+        for entry in reversed(entries):
+            entry.apply()
+        return len(entries)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+
+class Transaction:
+    """One connection's open transaction."""
+
+    def __init__(self) -> None:
+        self.undo = UndoLog()
+        self.statements = 0
+
+    def commit(self) -> None:
+        self.undo.clear()
+
+    def rollback(self) -> int:
+        return self.undo.rollback()
+
+
+class TransactionManager:
+    """Tracks at most one open transaction per connection."""
+
+    def __init__(self) -> None:
+        self._open: Dict[int, Transaction] = {}
+        self._lock = threading.Lock()
+
+    def begin(self, connection_id: int) -> Transaction:
+        with self._lock:
+            if connection_id in self._open:
+                raise TransactionError(
+                    f"connection {connection_id} already has an open "
+                    f"transaction (nested BEGIN is not supported)"
+                )
+            transaction = Transaction()
+            self._open[connection_id] = transaction
+            return transaction
+
+    def current(self, connection_id: int) -> Optional[Transaction]:
+        with self._lock:
+            return self._open.get(connection_id)
+
+    def commit(self, connection_id: int) -> None:
+        transaction = self._take(connection_id, "COMMIT")
+        transaction.commit()
+
+    def rollback(self, connection_id: int) -> int:
+        transaction = self._take(connection_id, "ROLLBACK")
+        return transaction.rollback()
+
+    def _take(self, connection_id: int, what: str) -> Transaction:
+        with self._lock:
+            transaction = self._open.pop(connection_id, None)
+        if transaction is None:
+            raise TransactionError(
+                f"{what} without an open transaction on connection "
+                f"{connection_id}"
+            )
+        return transaction

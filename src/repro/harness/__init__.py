@@ -1,0 +1,34 @@
+"""Experiment harness: regenerate every table and figure in §4.
+
+:class:`ExperimentRunner` executes one baseline + one staged simulated
+TPC-W run (memoized — all tables and figures in the paper come from the
+same pair of one-hour runs) and exposes one method per paper artifact.
+:mod:`repro.harness.report` renders them in the paper's layout.
+
+Run ``python -m repro.harness`` for the complete reproduction.
+"""
+
+from repro.harness.experiments import ExperimentRunner, Table2Result
+from repro.harness.report import (
+    format_figure7,
+    format_figure8,
+    format_figure9,
+    format_figure10,
+    format_series,
+    format_table2,
+    format_table3,
+    format_table4,
+)
+
+__all__ = [
+    "ExperimentRunner",
+    "Table2Result",
+    "format_figure7",
+    "format_figure8",
+    "format_figure9",
+    "format_figure10",
+    "format_series",
+    "format_table2",
+    "format_table3",
+    "format_table4",
+]

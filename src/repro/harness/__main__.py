@@ -1,0 +1,67 @@
+"""Full paper reproduction from the command line.
+
+Usage::
+
+    python -m repro.harness            # quick preset (~30 s)
+    python -m repro.harness --paper    # full 400-EB hour-long runs
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.harness.experiments import ExperimentRunner
+from repro.harness.report import full_report
+from repro.sim.workload import WorkloadConfig
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Reproduce every table and figure of the paper's §4."
+    )
+    parser.add_argument(
+        "--paper", action="store_true",
+        help="full paper scale (400 EBs, 1-hour runs); default is the "
+             "quick preset",
+    )
+    parser.add_argument("--seed", type=int, default=2009)
+    parser.add_argument("--clients", type=int, default=None)
+    parser.add_argument(
+        "--export-json", metavar="PATH", default=None,
+        help="also write the full results document as JSON",
+    )
+    parser.add_argument(
+        "--export-figures", metavar="DIR", default=None,
+        help="also write gnuplot-style .dat files, one per figure",
+    )
+    args = parser.parse_args(argv)
+
+    if args.paper:
+        config = WorkloadConfig.paper(seed=args.seed)
+    else:
+        config = WorkloadConfig.quick(seed=args.seed)
+    if args.clients is not None:
+        import dataclasses
+        config = dataclasses.replace(config, clients=args.clients)
+
+    runner = ExperimentRunner(config)
+    started = time.time()
+    print(full_report(runner))
+    if args.export_json:
+        from repro.harness.export import export_json
+
+        print(f"\nwrote {export_json(runner, args.export_json)}")
+    if args.export_figures:
+        from repro.harness.export import export_figures
+
+        for path in export_figures(runner, args.export_figures):
+            print(f"wrote {path}")
+    print(f"\n(total wall time: {time.time() - started:.1f}s; "
+          f"{config.clients} clients, {config.measure:.0f}s measured)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

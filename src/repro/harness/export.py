@@ -1,0 +1,142 @@
+"""Export experiment results to JSON and gnuplot-style data files.
+
+The paper's figures are line plots; ``export_figures`` writes one
+whitespace-separated ``.dat`` file per figure (time in the first
+column, one series per remaining column) so any plotting tool can
+regenerate them, and ``export_json`` writes the complete result set —
+tables, series, shape report — as one JSON document for downstream
+analysis.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List
+
+from repro.harness.experiments import (
+    PAPER_TABLE3,
+    PAPER_TABLE4,
+    ExperimentRunner,
+    run_table2,
+)
+from repro.util.timeseries import TimeSeries
+
+
+def results_document(runner: ExperimentRunner) -> Dict:
+    """The full reproduction as one JSON-serialisable document."""
+    table2 = run_table2()
+    general, lengthy = runner.figure8()
+    fig9_unmod, fig9_mod = runner.figure9()
+    fig10 = runner.figure10()
+    return {
+        "config": {
+            "clients": runner.config.clients,
+            "measure_seconds": runner.config.measure,
+            "seed": runner.config.seed,
+            "baseline_workers": runner.config.baseline_workers,
+            "general_pool": runner.config.general_pool,
+            "lengthy_pool": runner.config.lengthy_pool,
+        },
+        "table2": {
+            "rows": table2.rows,
+            "matches_paper": table2.matches_paper,
+        },
+        "table3": {
+            name: {
+                "unmodified": unmodified,
+                "modified": modified,
+                "paper": PAPER_TABLE3.get(name),
+            }
+            for name, (unmodified, modified) in runner.table3().items()
+        },
+        "table4": {
+            name: {
+                "unmodified": unmodified,
+                "modified": modified,
+                "paper": PAPER_TABLE4.get(name),
+            }
+            for name, (unmodified, modified) in runner.table4().items()
+        },
+        "throughput_gain_percent": runner.throughput_gain_percent(),
+        "figure7": _series_samples(runner.figure7()),
+        "figure8": {
+            "general": _series_samples(general),
+            "lengthy": _series_samples(lengthy),
+        },
+        "figure9": {
+            "unmodified": _series_samples(fig9_unmod),
+            "modified": _series_samples(fig9_mod),
+        },
+        "figure10": {
+            request_class: {
+                "unmodified": _series_samples(unmodified),
+                "modified": _series_samples(modified),
+            }
+            for request_class, (unmodified, modified) in fig10.items()
+        },
+        "shape_report": runner.shape_report(),
+    }
+
+
+def export_json(runner: ExperimentRunner, path: str) -> str:
+    """Write the full document to ``path``; returns the path."""
+    document = results_document(runner)
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(document, f, indent=2, sort_keys=True)
+    return path
+
+
+def export_figures(runner: ExperimentRunner, directory: str) -> List[str]:
+    """Write one ``.dat`` file per figure into ``directory``.
+
+    Each file has a ``#``-comment header naming its columns; rows are
+    whitespace-separated, one sample per line — directly plottable
+    with gnuplot (``plot 'fig9.dat' using 1:2 with lines``).
+    """
+    os.makedirs(directory, exist_ok=True)
+    written: List[str] = []
+
+    general, lengthy = runner.figure8()
+    fig9_unmod, fig9_mod = runner.figure9()
+    written.append(_write_dat(
+        os.path.join(directory, "fig7_queue_unmodified.dat"),
+        ["time_s", "queued_dynamic"],
+        [runner.figure7()],
+    ))
+    written.append(_write_dat(
+        os.path.join(directory, "fig8_queues_modified.dat"),
+        ["time_s", "general_queue", "lengthy_queue"],
+        [general, lengthy],
+    ))
+    written.append(_write_dat(
+        os.path.join(directory, "fig9_throughput.dat"),
+        ["time_s", "unmodified_per_bucket", "modified_per_bucket"],
+        [fig9_unmod, fig9_mod],
+    ))
+    for request_class, (unmodified, modified) in runner.figure10().items():
+        written.append(_write_dat(
+            os.path.join(directory, f"fig10_{request_class}.dat"),
+            ["time_s", "unmodified_per_bucket", "modified_per_bucket"],
+            [unmodified, modified],
+        ))
+    return written
+
+
+def _series_samples(series: TimeSeries) -> List[List[float]]:
+    return [[t, v] for t, v in series.samples()]
+
+
+def _write_dat(path: str, columns: List[str],
+               series_list: List[TimeSeries]) -> str:
+    """Align series on the first one's timestamps and write columns."""
+    primary = series_list[0].samples()
+    others = [dict(series.samples()) for series in series_list[1:]]
+    with open(path, "w", encoding="utf-8") as f:
+        f.write("# " + " ".join(columns) + "\n")
+        for t, value in primary:
+            row = [f"{t:.3f}", f"{value:g}"]
+            for other in others:
+                row.append(f"{other.get(t, 0.0):g}")
+            f.write(" ".join(row) + "\n")
+    return path

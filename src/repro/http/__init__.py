@@ -1,0 +1,29 @@
+"""From-scratch HTTP/1.x substrate.
+
+Implements just enough of HTTP for a 2009-era template-based web
+application server: request-line and header parsing (incremental, as a
+header-parsing thread would perform it), query-string decoding, POST
+form bodies, and response serialisation with Content-Length.
+"""
+
+from repro.http.cookies import Cookie, parse_cookie_header
+from repro.http.errors import BadRequestError, HTTPError, RequestTooLargeError
+from repro.http.request import HTTPRequest
+from repro.http.response import HTTPResponse, STATUS_REASONS
+from repro.http.parser import RequestParser, parse_request_bytes
+from repro.http.urls import parse_query_string, url_decode
+
+__all__ = [
+    "Cookie",
+    "parse_cookie_header",
+    "BadRequestError",
+    "HTTPError",
+    "RequestTooLargeError",
+    "HTTPRequest",
+    "HTTPResponse",
+    "STATUS_REASONS",
+    "RequestParser",
+    "parse_request_bytes",
+    "parse_query_string",
+    "url_decode",
+]

@@ -1,0 +1,81 @@
+"""A minimal blocking HTTP client for tests, examples, and emulators.
+
+Deliberately tiny: one request per call, ``Connection: close`` by
+default (the TPC-W emulated browsers open a fresh connection per
+interaction, as a think-time-separated browser of the era would).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import socket
+from typing import Dict, Optional
+
+from repro.http.errors import BadRequestError
+
+
+@dataclasses.dataclass
+class ClientResponse:
+    """A parsed HTTP response."""
+
+    status: int
+    reason: str
+    headers: Dict[str, str]
+    body: bytes
+
+    @property
+    def text(self) -> str:
+        return self.body.decode("utf-8", errors="replace")
+
+
+def http_request(host: str, port: int, target: str, method: str = "GET",
+                 headers: Optional[Dict[str, str]] = None,
+                 body: bytes = b"", timeout: float = 30.0) -> ClientResponse:
+    """Send one request and read the full response."""
+    request_headers = {
+        "Host": f"{host}:{port}",
+        "User-Agent": "repro-client/1.0",
+        "Connection": "close",
+    }
+    if headers:
+        request_headers.update(headers)
+    if body:
+        request_headers["Content-Length"] = str(len(body))
+
+    lines = [f"{method} {target} HTTP/1.1"]
+    lines.extend(f"{name}: {value}" for name, value in request_headers.items())
+    payload = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body
+
+    with socket.create_connection((host, port), timeout=timeout) as sock:
+        sock.sendall(payload)
+        raw = bytearray()
+        while True:
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            raw.extend(chunk)
+    return parse_response_bytes(bytes(raw))
+
+
+def parse_response_bytes(raw: bytes) -> ClientResponse:
+    """Parse a complete HTTP response byte string."""
+    head, separator, rest = raw.partition(b"\r\n\r\n")
+    if not separator:
+        raise BadRequestError("incomplete HTTP response (no header terminator)")
+    head_lines = head.decode("latin-1").split("\r\n")
+    status_parts = head_lines[0].split(" ", 2)
+    if len(status_parts) < 2 or not status_parts[0].startswith("HTTP/"):
+        raise BadRequestError(f"malformed status line: {head_lines[0]!r}")
+    status = int(status_parts[1])
+    reason = status_parts[2] if len(status_parts) > 2 else ""
+    headers: Dict[str, str] = {}
+    for line in head_lines[1:]:
+        if ":" in line:
+            name, value = line.split(":", 1)
+            headers[name.strip().lower()] = value.strip()
+    content_length = headers.get("content-length")
+    if content_length is not None:
+        body = rest[: int(content_length)]
+    else:
+        body = rest
+    return ClientResponse(status, reason, headers, body)

@@ -1,0 +1,74 @@
+"""HTTP cookie parsing and serialisation.
+
+A 2009-era web application tracks sessions with cookies (TPC-W's
+shopping-cart id is commonly carried this way); this module provides
+the two halves: parsing the request's ``Cookie`` header, and building
+``Set-Cookie`` response headers with the era-appropriate attributes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional
+
+_TOKEN_FORBIDDEN = set('()<>@,;:\\"/[]?={} \t')
+
+
+def parse_cookie_header(header: Optional[str]) -> Dict[str, str]:
+    """Parse ``Cookie: a=1; b=two`` into a dict.
+
+    Malformed fragments are skipped rather than rejected — clients send
+    all sorts of things in Cookie headers and a bad cookie must not
+    fail the request.
+    """
+    cookies: Dict[str, str] = {}
+    if not header:
+        return cookies
+    for fragment in header.split(";"):
+        fragment = fragment.strip()
+        if not fragment or "=" not in fragment:
+            continue
+        name, value = fragment.split("=", 1)
+        name = name.strip()
+        if not name:
+            continue
+        value = value.strip()
+        if len(value) >= 2 and value[0] == '"' and value[-1] == '"':
+            value = value[1:-1]
+        cookies[name] = value
+    return cookies
+
+
+@dataclasses.dataclass(frozen=True)
+class Cookie:
+    """One ``Set-Cookie`` value."""
+
+    name: str
+    value: str
+    path: str = "/"
+    max_age: Optional[int] = None
+    http_only: bool = True
+    secure: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.name or any(ch in _TOKEN_FORBIDDEN for ch in self.name):
+            raise ValueError(f"invalid cookie name {self.name!r}")
+        if ";" in self.value or "," in self.value:
+            raise ValueError(
+                f"cookie value may not contain ';' or ',': {self.value!r}"
+            )
+
+    def serialize(self) -> str:
+        parts = [f"{self.name}={self.value}", f"Path={self.path}"]
+        if self.max_age is not None:
+            parts.append(f"Max-Age={self.max_age}")
+        if self.http_only:
+            parts.append("HttpOnly")
+        if self.secure:
+            parts.append("Secure")
+        return "; ".join(parts)
+
+    @classmethod
+    def expired(cls, name: str) -> "Cookie":
+        """A deletion cookie (Max-Age=0)."""
+        return cls(name=name, value="", max_age=0)

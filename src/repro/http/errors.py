@@ -1,0 +1,43 @@
+"""HTTP-layer error types."""
+
+from __future__ import annotations
+
+
+class HTTPError(Exception):
+    """Base class for errors that map to an HTTP error response."""
+
+    status = 500
+
+    def __init__(self, message: str = ""):
+        super().__init__(message)
+        self.message = message
+
+
+class BadRequestError(HTTPError):
+    """Malformed request line, headers, or encoding (400)."""
+
+    status = 400
+
+
+class RequestTooLargeError(HTTPError):
+    """Request line, header block, or body exceeds configured limits (413)."""
+
+    status = 413
+
+
+class NotFoundError(HTTPError):
+    """No handler or static file matches the request path (404)."""
+
+    status = 404
+
+
+class MethodNotAllowedError(HTTPError):
+    """The resource exists but not for this method (405)."""
+
+    status = 405
+
+
+class ServerOverloadedError(HTTPError):
+    """A bounded queue rejected the request (503)."""
+
+    status = 503

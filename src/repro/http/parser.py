@@ -1,0 +1,199 @@
+"""Incremental HTTP request parsing.
+
+The staged server's header-parsing pool performs two distinct steps
+(paper §3.2): first it reads just the *request line* — enough to decide
+static vs. dynamic — then, for dynamic requests only, it parses the
+remaining headers and the query string into dictionaries.  The parser
+below exposes both granularities:
+
+- :meth:`RequestParser.feed` accepts raw bytes as they arrive from the
+  socket and reports when the request line, then the full header block,
+  then the body are complete.
+- :func:`parse_request_bytes` is the convenience one-shot used in tests
+  and by the baseline server.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Optional, Tuple
+
+from repro.http.errors import BadRequestError, RequestTooLargeError
+from repro.http.request import HTTPRequest, SUPPORTED_METHODS
+
+MAX_REQUEST_LINE_BYTES = 8192
+MAX_HEADER_BLOCK_BYTES = 65536
+MAX_BODY_BYTES = 1024 * 1024
+SUPPORTED_VERSIONS = frozenset({"HTTP/1.0", "HTTP/1.1"})
+
+
+class ParserState(enum.Enum):
+    REQUEST_LINE = "request-line"
+    HEADERS = "headers"
+    BODY = "body"
+    COMPLETE = "complete"
+
+
+def parse_request_line(line: str) -> Tuple[str, str, str]:
+    """Parse ``GET /path?query HTTP/1.1`` into (method, target, version)."""
+    parts = line.split(" ")
+    if len(parts) != 3:
+        raise BadRequestError(f"malformed request line: {line!r}")
+    method, target, version = parts
+    if method not in SUPPORTED_METHODS:
+        raise BadRequestError(f"unsupported method {method!r}")
+    if not target.startswith("/"):
+        raise BadRequestError(f"request target must start with '/': {target!r}")
+    if version not in SUPPORTED_VERSIONS:
+        raise BadRequestError(f"unsupported HTTP version {version!r}")
+    return method, target, version
+
+
+def parse_header_line(line: str) -> Tuple[str, str]:
+    """Parse ``Name: value`` into a (lowercased-name, value) pair."""
+    if ":" not in line:
+        raise BadRequestError(f"malformed header line: {line!r}")
+    name, value = line.split(":", 1)
+    name = name.strip().lower()
+    if not name:
+        raise BadRequestError(f"empty header name in line: {line!r}")
+    return name, value.strip()
+
+
+class RequestParser:
+    """Incremental parser for one HTTP request.
+
+    Feed it bytes; inspect :attr:`state`, :attr:`request_line`, and call
+    :meth:`result` once complete.  Raises :class:`BadRequestError` or
+    :class:`RequestTooLargeError` on malformed or oversized input.
+    """
+
+    def __init__(
+        self,
+        max_request_line: int = MAX_REQUEST_LINE_BYTES,
+        max_header_block: int = MAX_HEADER_BLOCK_BYTES,
+        max_body: int = MAX_BODY_BYTES,
+    ):
+        self._buffer = bytearray()
+        self.state = ParserState.REQUEST_LINE
+        self.request_line: Optional[str] = None
+        self.method: Optional[str] = None
+        self.target: Optional[str] = None
+        self.version: Optional[str] = None
+        self.headers: Dict[str, str] = {}
+        self._body: bytes = b""
+        self._content_length = 0
+        self._max_request_line = max_request_line
+        self._max_header_block = max_header_block
+        self._max_body = max_body
+
+    def feed(self, data: bytes) -> ParserState:
+        """Consume bytes and advance; returns the new state."""
+        if self.state is ParserState.COMPLETE:
+            raise BadRequestError("parser already complete; create a new one")
+        self._buffer.extend(data)
+        progressed = True
+        while progressed:
+            progressed = False
+            if self.state is ParserState.REQUEST_LINE:
+                progressed = self._try_request_line()
+            elif self.state is ParserState.HEADERS:
+                progressed = self._try_headers()
+            elif self.state is ParserState.BODY:
+                progressed = self._try_body()
+        return self.state
+
+    def _take_line(self, limit: int, what: str) -> Optional[str]:
+        idx = self._buffer.find(b"\r\n")
+        if idx == -1:
+            # Tolerate bare-LF clients.
+            idx = self._buffer.find(b"\n")
+            if idx == -1:
+                if len(self._buffer) > limit:
+                    raise RequestTooLargeError(f"{what} exceeds {limit} bytes")
+                return None
+            line = bytes(self._buffer[:idx])
+            del self._buffer[: idx + 1]
+        else:
+            line = bytes(self._buffer[:idx])
+            del self._buffer[: idx + 2]
+        if len(line) > limit:
+            raise RequestTooLargeError(f"{what} exceeds {limit} bytes")
+        return line.decode("latin-1")
+
+    def _try_request_line(self) -> bool:
+        line = self._take_line(self._max_request_line, "request line")
+        if line is None:
+            return False
+        if line == "":
+            # Skip stray leading CRLF (allowed by RFC 7230 §3.5).
+            return True
+        self.request_line = line
+        self.method, self.target, self.version = parse_request_line(line)
+        self.state = ParserState.HEADERS
+        return True
+
+    def _try_headers(self) -> bool:
+        while True:
+            line = self._take_line(self._max_header_block, "header block")
+            if line is None:
+                return False
+            if line == "":
+                self._finish_headers()
+                return True
+            name, value = parse_header_line(line)
+            self.headers[name] = value
+
+    def _finish_headers(self) -> None:
+        raw_length = self.headers.get("content-length", "0")
+        try:
+            self._content_length = int(raw_length)
+        except ValueError:
+            raise BadRequestError(f"invalid Content-Length: {raw_length!r}")
+        if self._content_length < 0:
+            raise BadRequestError(f"negative Content-Length: {self._content_length}")
+        if self._content_length > self._max_body:
+            raise RequestTooLargeError(
+                f"body of {self._content_length} bytes exceeds {self._max_body}"
+            )
+        if self._content_length == 0:
+            self.state = ParserState.COMPLETE
+        else:
+            self.state = ParserState.BODY
+
+    def _try_body(self) -> bool:
+        if len(self._buffer) < self._content_length:
+            return False
+        self._body = bytes(self._buffer[: self._content_length])
+        del self._buffer[: self._content_length]
+        self.state = ParserState.COMPLETE
+        return True
+
+    def result(self) -> HTTPRequest:
+        """The parsed request; only valid once state is COMPLETE."""
+        if self.state is not ParserState.COMPLETE:
+            raise BadRequestError(
+                f"request incomplete (parser state: {self.state.value})"
+            )
+        assert self.method and self.target and self.version
+        return HTTPRequest(
+            method=self.method,
+            target=self.target,
+            version=self.version,
+            headers=dict(self.headers),
+            body=self._body,
+        )
+
+    @property
+    def leftover(self) -> bytes:
+        """Bytes received beyond this request (start of a pipelined next one)."""
+        return bytes(self._buffer)
+
+
+def parse_request_bytes(data: bytes) -> HTTPRequest:
+    """One-shot parse of a complete request byte string."""
+    parser = RequestParser()
+    state = parser.feed(data)
+    if state is not ParserState.COMPLETE:
+        raise BadRequestError(f"incomplete request ({state.value})")
+    return parser.result()

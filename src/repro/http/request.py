@@ -1,0 +1,91 @@
+"""The parsed HTTP request object passed between thread pools."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional
+
+from repro.http.urls import parse_query_string, split_path_query
+
+SUPPORTED_METHODS = frozenset({"GET", "HEAD", "POST", "PUT", "DELETE", "OPTIONS"})
+
+
+@dataclasses.dataclass
+class HTTPRequest:
+    """A fully parsed HTTP request.
+
+    In the staged server, a header-parsing thread builds this object
+    completely (including the query-string dictionary) before handing
+    it to a downstream pool; in the baseline server the single worker
+    thread builds it as part of serving the whole request.
+
+    Attributes
+    ----------
+    method:
+        Uppercase HTTP method.
+    target:
+        The raw request target, e.g. ``/homepage?userid=5``.
+    path:
+        The target's path component, e.g. ``/homepage``.
+    query:
+        The raw query string, e.g. ``userid=5``.
+    params:
+        Query parameters (and, for form POSTs, body parameters) decoded
+        into a dict — the kwargs for the dispatched page function.
+    headers:
+        Header fields with lower-cased names.
+    body:
+        Raw request body bytes (empty for bodyless requests).
+    version:
+        ``"HTTP/1.0"`` or ``"HTTP/1.1"``.
+    """
+
+    method: str
+    target: str
+    version: str = "HTTP/1.1"
+    headers: Dict[str, str] = dataclasses.field(default_factory=dict)
+    body: bytes = b""
+    path: str = dataclasses.field(init=False)
+    query: str = dataclasses.field(init=False)
+    params: Dict[str, str] = dataclasses.field(init=False)
+
+    def __post_init__(self) -> None:
+        self.path, self.query = split_path_query(self.target)
+        self.params = parse_query_string(self.query)
+        content_type = self.headers.get("content-type", "")
+        if self.body and content_type.startswith("application/x-www-form-urlencoded"):
+            body_params = parse_query_string(self.body.decode("utf-8", "replace"))
+            # Body parameters override query parameters on collision,
+            # matching common framework behaviour for form posts.
+            self.params.update(body_params)
+
+    def header(self, name: str, default: Optional[str] = None) -> Optional[str]:
+        """Case-insensitive header lookup."""
+        return self.headers.get(name.lower(), default)
+
+    @property
+    def cookies(self) -> Dict[str, str]:
+        """Cookies from the Cookie header (parsed lazily, cached)."""
+        cached = getattr(self, "_cookies", None)
+        if cached is None:
+            from repro.http.cookies import parse_cookie_header
+
+            cached = parse_cookie_header(self.headers.get("cookie"))
+            object.__setattr__(self, "_cookies", cached)
+        return cached
+
+    @property
+    def keep_alive(self) -> bool:
+        """Whether the connection should persist after the response.
+
+        HTTP/1.1 defaults to keep-alive unless ``Connection: close``;
+        HTTP/1.0 defaults to close unless ``Connection: keep-alive``.
+        """
+        connection = self.headers.get("connection", "").lower()
+        if self.version == "HTTP/1.1":
+            return connection != "close"
+        return connection == "keep-alive"
+
+    def describe(self) -> str:
+        """Short one-line description for logs: ``GET /homepage?u=5``."""
+        return f"{self.method} {self.target}"

@@ -1,0 +1,97 @@
+"""HTTP response construction and serialisation.
+
+The paper notes a side benefit of staged rendering: because the
+template-rendering thread produces the final body, it "measures the
+size of the output [and] is able to set the Content-Length HTTP
+response header appropriately, which cannot be achieved by most
+existing methods in dynamic content generation."  Accordingly the
+response object always serialises with an exact Content-Length.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Union
+
+STATUS_REASONS: Dict[int, str] = {
+    200: "OK",
+    201: "Created",
+    204: "No Content",
+    301: "Moved Permanently",
+    302: "Found",
+    304: "Not Modified",
+    400: "Bad Request",
+    403: "Forbidden",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    414: "URI Too Long",
+    500: "Internal Server Error",
+    502: "Bad Gateway",
+    503: "Service Unavailable",
+    505: "HTTP Version Not Supported",
+}
+
+
+@dataclasses.dataclass
+class HTTPResponse:
+    """An HTTP response ready for serialisation."""
+
+    status: int = 200
+    body: bytes = b""
+    headers: Dict[str, str] = dataclasses.field(default_factory=dict)
+    version: str = "HTTP/1.1"
+
+    def __post_init__(self) -> None:
+        if isinstance(self.body, str):
+            self.body = self.body.encode("utf-8")
+        if self.status not in STATUS_REASONS:
+            raise ValueError(f"unknown HTTP status code {self.status}")
+
+    @classmethod
+    def html(cls, body: Union[str, bytes], status: int = 200) -> "HTTPResponse":
+        """A text/html response."""
+        return cls(
+            status=status,
+            body=body,
+            headers={"Content-Type": "text/html; charset=utf-8"},
+        )
+
+    @classmethod
+    def error(cls, status: int, message: str = "") -> "HTTPResponse":
+        """A minimal HTML error page for the given status."""
+        reason = STATUS_REASONS.get(status, "Error")
+        body = (
+            f"<html><head><title>{status} {reason}</title></head>"
+            f"<body><h1>{status} {reason}</h1><p>{message}</p></body></html>"
+        )
+        return cls.html(body, status=status)
+
+    def set_cookie(self, name: str, value: str, **attributes) -> None:
+        """Attach a Set-Cookie header (multiple cookies supported)."""
+        from repro.http.cookies import Cookie
+
+        cookie = Cookie(name=name, value=value, **attributes)
+        if not hasattr(self, "_cookies"):
+            self._cookies = []
+        self._cookies.append(cookie)
+
+    @property
+    def reason(self) -> str:
+        return STATUS_REASONS[self.status]
+
+    def serialize(self, keep_alive: bool = False) -> bytes:
+        """Render the full response, always with exact Content-Length."""
+        headers = dict(self.headers)
+        headers.setdefault("Content-Type", "text/html; charset=utf-8")
+        # An explicit Content-Length is preserved (HEAD responses carry
+        # the length of the body they omit); otherwise it is exact.
+        headers.setdefault("Content-Length", str(len(self.body)))
+        headers["Connection"] = "keep-alive" if keep_alive else "close"
+        lines = [f"{self.version} {self.status} {self.reason}"]
+        lines.extend(f"{name}: {value}" for name, value in headers.items())
+        for cookie in getattr(self, "_cookies", ()):
+            lines.append(f"Set-Cookie: {cookie.serialize()}")
+        head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+        return head + self.body

@@ -1,0 +1,109 @@
+"""URL percent-decoding and query-string parsing.
+
+The header-parsing threads of the staged server parse the query string
+into a dictionary (paper §3.2: "The headers and query string will each
+be parsed into a dictionary") so that data-generation threads holding
+database connections never spend time on parsing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.http.errors import BadRequestError
+
+_HEX_DIGITS = "0123456789abcdefABCDEF"
+
+
+def url_decode(text: str, plus_as_space: bool = True) -> str:
+    """Decode %XX escapes (and optionally '+' as space).
+
+    Raises :class:`BadRequestError` on truncated or non-hex escapes;
+    a malformed client request must not crash a worker thread.
+    """
+    if "%" not in text and (not plus_as_space or "+" not in text):
+        return text
+    out: List[str] = []
+    i = 0
+    n = len(text)
+    raw = bytearray()
+
+    def flush_raw() -> None:
+        if raw:
+            out.append(raw.decode("utf-8", errors="replace"))
+            raw.clear()
+
+    while i < n:
+        ch = text[i]
+        if ch == "%":
+            if i + 2 >= n:
+                raise BadRequestError(f"truncated percent-escape at offset {i}")
+            hi, lo = text[i + 1], text[i + 2]
+            if hi not in _HEX_DIGITS or lo not in _HEX_DIGITS:
+                raise BadRequestError(
+                    f"invalid percent-escape %{hi}{lo} at offset {i}"
+                )
+            raw.append(int(hi + lo, 16))
+            i += 3
+        elif ch == "+" and plus_as_space:
+            flush_raw()
+            out.append(" ")
+            i += 1
+        else:
+            flush_raw()
+            out.append(ch)
+            i += 1
+    flush_raw()
+    return "".join(out)
+
+
+def parse_query_string(query: str) -> Dict[str, str]:
+    """Parse ``a=1&b=two`` into ``{"a": "1", "b": "two"}``.
+
+    Later duplicates win (matching CherryPy's simple behaviour for the
+    function-parameter mapping).  Keys without '=' map to the empty
+    string.  An empty query yields an empty dict.
+    """
+    params: Dict[str, str] = {}
+    if not query:
+        return params
+    for pair in query.split("&"):
+        if not pair:
+            continue
+        if "=" in pair:
+            key, value = pair.split("=", 1)
+        else:
+            key, value = pair, ""
+        key = url_decode(key)
+        if not key:
+            raise BadRequestError(f"empty parameter name in query {query!r}")
+        params[key] = url_decode(value)
+    return params
+
+
+def parse_query_string_multi(query: str) -> Dict[str, List[str]]:
+    """Like :func:`parse_query_string` but keeping all duplicate values."""
+    params: Dict[str, List[str]] = {}
+    if not query:
+        return params
+    for pair in query.split("&"):
+        if not pair:
+            continue
+        if "=" in pair:
+            key, value = pair.split("=", 1)
+        else:
+            key, value = pair, ""
+        key = url_decode(key)
+        if not key:
+            raise BadRequestError(f"empty parameter name in query {query!r}")
+        params.setdefault(key, []).append(url_decode(value))
+    return params
+
+
+def split_path_query(target: str) -> Tuple[str, str]:
+    """Split a request target into (path, query)."""
+    if "?" in target:
+        path, query = target.split("?", 1)
+    else:
+        path, query = target, ""
+    return path, query

@@ -1,0 +1,35 @@
+"""The web servers: thread-per-request baseline and the staged design.
+
+:class:`BaselineServer` is the conventional model of the paper's
+Figure 4 — one listener thread, one bounded worker pool, each worker
+owning a pinned database connection and carrying a request through
+parsing, data generation, *and* template rendering.
+
+:class:`StagedServer` is the paper's proposal (Figure 5): the listener
+feeds a Header Parsing pool that classifies each request from its
+request line and routes it to the Static pool, the General dynamic
+pool, or the Lengthy dynamic pool (per Table 1), with rendered output
+produced by the Template Rendering pool.  Only dynamic-pool threads
+hold database connections.
+
+Both servers speak real HTTP over real sockets and share one
+:class:`Application` (URL routing, handlers, templates, static files),
+so any TPC-W run can switch servers without touching application code —
+except for the paper's one-line change: staged handlers return
+``("template.html", data)`` instead of a rendered string.
+"""
+
+from repro.server.app import Application, RequestContext
+from repro.server.baseline import BaselineServer
+from repro.server.pools import ThreadPool
+from repro.server.staged import StagedServer
+from repro.server.stats import ServerStats
+
+__all__ = [
+    "Application",
+    "RequestContext",
+    "BaselineServer",
+    "ThreadPool",
+    "StagedServer",
+    "ServerStats",
+]

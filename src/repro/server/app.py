@@ -1,0 +1,155 @@
+"""The web application object: routing, handlers, templates, statics.
+
+Mirrors CherryPy's programming model (paper §3.1): "It conveniently
+maps URLs to functions, converting each request's query string into
+function parameters."  Handlers are plain functions registered under a
+path; query parameters arrive as keyword arguments; the thread-pinned
+database connection is fetched with :meth:`Application.getconn`, just
+like the paper's ``getconn()`` examples.
+
+A handler may return:
+
+- a ``str`` — a complete (pre-rendered) HTML page; or
+- ``("template.html", data)`` — the paper's modified convention: the
+  unrendered template name plus the rendering data, letting the staged
+  server hand rendering to the Template Rendering pool.  The baseline
+  server renders such tuples inline, so the same application runs on
+  both servers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from typing import Any, Callable, Dict, Optional, Tuple, Union
+
+from repro.db.connection import Connection
+from repro.http.errors import NotFoundError
+from repro.http.request import HTTPRequest
+from repro.templates.engine import TemplateEngine
+
+#: What a handler may return.
+HandlerResult = Union[str, Tuple[str, Dict[str, Any]]]
+Handler = Callable[..., HandlerResult]
+
+
+class RequestContext(threading.local):
+    """Per-thread request state: the current request and DB connection."""
+
+    request: Optional[HTTPRequest] = None
+    connection: Optional[Connection] = None
+
+
+class Application:
+    """Routes, templates, and static content for one web application."""
+
+    def __init__(self, templates: Optional[TemplateEngine] = None):
+        self.templates = templates if templates is not None else TemplateEngine()
+        self._routes: Dict[str, Handler] = {}
+        self._static_files: Dict[str, bytes] = {}
+        self._static_etags: Dict[str, str] = {}
+        self._context = RequestContext()
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def expose(self, path: str, handler: Optional[Handler] = None):
+        """Register a handler for ``path``; usable as a decorator.
+
+        ``path`` must start with '/'.  Registration replaces any
+        previous handler for the path.
+        """
+        if not path.startswith("/"):
+            raise ValueError(f"route path must start with '/': {path!r}")
+
+        def decorator(func: Handler) -> Handler:
+            self._routes[path] = func
+            return func
+
+        if handler is not None:
+            return decorator(handler)
+        return decorator
+
+    def handler_for(self, path: str) -> Handler:
+        try:
+            return self._routes[path]
+        except KeyError:
+            raise NotFoundError(f"no handler registered for {path!r}")
+
+    def has_route(self, path: str) -> bool:
+        return path in self._routes
+
+    @property
+    def routes(self) -> Dict[str, Handler]:
+        return dict(self._routes)
+
+    # ------------------------------------------------------------------
+    # Static content
+    # ------------------------------------------------------------------
+    def add_static(self, path: str, content: Union[str, bytes]) -> None:
+        """Register an in-memory static file (e.g. ``/img/flowers.gif``)."""
+        if not path.startswith("/"):
+            raise ValueError(f"static path must start with '/': {path!r}")
+        if isinstance(content, str):
+            content = content.encode("utf-8")
+        self._static_files[path] = content
+        digest = hashlib.md5(content).hexdigest()[:16]
+        self._static_etags[path] = f'"{digest}"'
+
+
+    def static_content(self, path: str) -> bytes:
+        try:
+            return self._static_files[path]
+        except KeyError:
+            raise NotFoundError(f"no static file at {path!r}")
+
+    def static_etag(self, path: str) -> str:
+        """The strong ETag for a registered static file."""
+        try:
+            return self._static_etags[path]
+        except KeyError:
+            raise NotFoundError(f"no static file at {path!r}")
+
+    def has_static(self, path: str) -> bool:
+        return path in self._static_files
+
+    # ------------------------------------------------------------------
+    # Per-thread request context (the paper's getconn() idiom)
+    # ------------------------------------------------------------------
+    def getconn(self) -> Connection:
+        """The database connection pinned to the calling worker thread."""
+        connection = self._context.connection
+        if connection is None:
+            raise RuntimeError(
+                "no database connection is bound to this thread; only "
+                "data-generation threads hold connections"
+            )
+        return connection
+
+    def current_request(self) -> HTTPRequest:
+        request = self._context.request
+        if request is None:
+            raise RuntimeError("no request is being processed on this thread")
+        return request
+
+    def bind_connection(self, connection: Optional[Connection]) -> None:
+        """Pin (or clear) the calling thread's database connection."""
+        self._context.connection = connection
+
+    def bind_request(self, request: Optional[HTTPRequest]) -> None:
+        self._context.request = request
+
+    # ------------------------------------------------------------------
+    def invoke(self, request: HTTPRequest) -> HandlerResult:
+        """Call the handler for ``request`` with its query parameters.
+
+        The request is bound to the thread for the duration of the call
+        so handlers can reach headers/cookies via
+        :meth:`current_request`.
+        """
+        handler = self.handler_for(request.path)
+        self.bind_request(request)
+        try:
+            return handler(**request.params)
+        finally:
+            self.bind_request(None)

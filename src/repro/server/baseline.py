@@ -1,0 +1,182 @@
+"""The unmodified server: thread-per-request with pinned connections.
+
+Paper Figure 4: "an incoming request is first accepted by the single
+listener thread.  Then, the request will be dispatched to a separate
+thread in the thread pool, which processes the entire request and
+returns a result to the client."  Each worker owns one database
+connection for its whole lifetime — the trend the paper documents
+(§1) — so the worker count equals the connection count, and a
+connection sits idle whenever its thread parses headers, serves static
+files, or renders templates.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.db.pool import ConnectionPool
+from repro.http.errors import HTTPError
+from repro.http.request import HTTPRequest
+from repro.http.response import HTTPResponse
+from repro.server.app import Application
+from repro.server.gateway import (
+    UnrenderedPage,
+    error_response,
+    head_strip,
+    interpret_result,
+    render_page,
+)
+from repro.server.netbase import ClientConnection, Listener, PeriodicTask
+from repro.server.pools import PoolOverloadedError, ThreadPool
+from repro.server.static import serve_static
+from repro.server.stats import ServerStats
+from repro.util.clock import Clock, MonotonicClock
+
+
+class BaselineServer:
+    """Conventional thread-per-request CherryPy-style server.
+
+    Parameters
+    ----------
+    app:
+        The web application (routes, templates, statics).
+    connection_pool:
+        Bounded pool of database connections; each worker pins one at
+        startup, so ``workers`` may not exceed the pool size.
+    workers:
+        Worker thread count; defaults to the connection pool size (the
+        paper: "the number of threads cannot exceed the number of
+        connections").
+    """
+
+    def __init__(self, app: Application, connection_pool: ConnectionPool,
+                 host: str = "127.0.0.1", port: int = 0,
+                 workers: Optional[int] = None,
+                 clock: Optional[Clock] = None,
+                 queue_sample_interval: float = 1.0,
+                 max_queue: Optional[int] = None):
+        if workers is None:
+            workers = connection_pool.size
+        if workers > connection_pool.size:
+            raise ValueError(
+                f"thread-per-request workers ({workers}) cannot exceed the "
+                f"connection pool size ({connection_pool.size}): each worker "
+                f"pins one connection"
+            )
+        self.app = app
+        self.connection_pool = connection_pool
+        self.clock = clock if clock is not None else MonotonicClock()
+        self.stats = ServerStats(self.clock)
+        self.worker_pool = ThreadPool(
+            "worker",
+            workers,
+            worker_init=self._bind_worker_connection,
+            worker_cleanup=self._release_worker_connection,
+            max_queue=max_queue,
+        )
+        self._listener = Listener(host, port, self._on_accept)
+        self._sampler = PeriodicTask(
+            queue_sample_interval, self._sample_queues, name="queue-sampler"
+        )
+        self._running = False
+
+    # ------------------------------------------------------------------
+    @property
+    def address(self):
+        return self._listener.address
+
+    def start(self) -> "BaselineServer":
+        self._listener.start()
+        self._sampler.start()
+        self._running = True
+        return self
+
+    def stop(self) -> None:
+        if not self._running:
+            return
+        self._running = False
+        self._listener.stop()
+        self._sampler.stop()
+        self.worker_pool.shutdown()
+
+    def __enter__(self) -> "BaselineServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    def _bind_worker_connection(self) -> None:
+        """Pin one pooled connection to this worker thread for life."""
+        self.app.bind_connection(self.connection_pool.acquire())
+
+    def _release_worker_connection(self) -> None:
+        try:
+            connection = self.app.getconn()
+        except RuntimeError:  # pragma: no cover - init failed
+            return
+        self.app.bind_connection(None)
+        self.connection_pool.release(connection)
+
+    def _sample_queues(self) -> None:
+        self.stats.sample_queue("worker", self.worker_pool.queue_length)
+
+    def _on_accept(self, client: ClientConnection) -> None:
+        try:
+            self.worker_pool.submit(self._serve_client, client)
+        except PoolOverloadedError:
+            client.send_response(HTTPResponse.error(503), keep_alive=False)
+            client.close_after_error()
+
+    # ------------------------------------------------------------------
+    def _serve_client(self, client: ClientConnection) -> None:
+        """Process every request on one connection, start to finish."""
+        try:
+            while True:
+                try:
+                    request = client.read_request()
+                except HTTPError as exc:
+                    # 400 for malformed requests, 413 for oversized ones.
+                    client.send_response(
+                        HTTPResponse.error(exc.status), keep_alive=False
+                    )
+                    return
+                if request is None:
+                    return
+                started = self.clock.now()
+                response, page_key, request_class = self._process(request)
+                response = head_strip(request, response)
+                keep_alive = request.keep_alive
+                client.send_response(response, keep_alive=keep_alive)
+                self.stats.record_completion(
+                    page_key, request_class, self.clock.now() - started
+                )
+                if not keep_alive:
+                    return
+        finally:
+            client.close()
+
+    def _process(self, request: HTTPRequest):
+        """The entire request on this one thread: the baseline model."""
+        if self.app.has_static(request.path):
+            try:
+                return serve_static(self.app, request), request.path, "static"
+            except HTTPError as exc:
+                return error_response(exc), request.path, "static"
+        page_key = request.path
+        try:
+            generation_started = self.clock.now()
+            result = self.app.invoke(request)
+            outcome = interpret_result(result)
+            self.stats.record_generation_time(
+                page_key, self.clock.now() - generation_started
+            )
+            if isinstance(outcome, UnrenderedPage):
+                # Baseline renders inline, on the same thread that holds
+                # the database connection.
+                response = render_page(self.app, outcome)
+            else:
+                response = HTTPResponse.html(outcome)
+            return response, page_key, "dynamic"
+        except Exception as exc:
+            return error_response(exc), page_key, "dynamic"

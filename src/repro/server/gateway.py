@@ -1,0 +1,81 @@
+"""Bridging handler results to HTTP responses.
+
+Implements the paper's backward-compatibility rule (§3.2): "Each
+dynamic request thread maps the request string to a function, then
+examines the function's return value to see whether it is a string or
+a template to be rendered. ... If the function returns a string, then
+the dynamic request thread directly sends the string to the client.
+If the function returns a template, then the dynamic request thread
+passes the request on to the pool of template rendering threads."
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, Optional, Union
+
+from repro.http.errors import HTTPError
+from repro.http.request import HTTPRequest
+from repro.http.response import HTTPResponse
+from repro.server.app import Application, HandlerResult
+
+
+@dataclasses.dataclass
+class UnrenderedPage:
+    """A handler's ``(template_name, data)`` result, awaiting rendering."""
+
+    template_name: str
+    data: Dict[str, Any]
+
+
+def interpret_result(result: HandlerResult) -> Union[str, UnrenderedPage]:
+    """Classify a handler's return value (string vs. unrendered template).
+
+    Anything that is not a ``(str, dict)`` 2-tuple is treated as a
+    pre-rendered string, matching the paper's permissive fallback
+    ("even if a function returns an already-rendered template by
+    mistake, the modified web server can still handle this properly").
+    """
+    if (
+        isinstance(result, tuple)
+        and len(result) == 2
+        and isinstance(result[0], str)
+        and isinstance(result[1], dict)
+    ):
+        return UnrenderedPage(result[0], result[1])
+    if isinstance(result, str):
+        return result
+    return str(result)
+
+
+def render_page(app: Application, page: UnrenderedPage) -> HTTPResponse:
+    """Render an unrendered page to a full response.
+
+    Run by a Template Rendering thread in the staged server, inline in
+    the baseline server.  The response carries an exact Content-Length
+    (computed by :meth:`HTTPResponse.serialize`), the measurement the
+    paper notes becomes possible once rendering is a separate stage.
+    """
+    body = app.templates.render(page.template_name, page.data)
+    return HTTPResponse.html(body)
+
+
+def error_response(exc: BaseException) -> HTTPResponse:
+    """Convert any handler/parse exception to an HTTP error response."""
+    if isinstance(exc, HTTPError):
+        return HTTPResponse.error(exc.status, exc.message)
+    return HTTPResponse.error(500, f"{type(exc).__name__}: {exc}")
+
+
+def head_strip(request: Optional[HTTPRequest], response: HTTPResponse) -> HTTPResponse:
+    """For HEAD requests, drop the body but keep the Content-Length."""
+    if request is not None and request.method == "HEAD":
+        stripped = HTTPResponse(
+            status=response.status,
+            body=b"",
+            headers=dict(response.headers),
+            version=response.version,
+        )
+        stripped.headers["Content-Length"] = str(len(response.body))
+        return stripped
+    return response

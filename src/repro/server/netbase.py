@@ -1,0 +1,218 @@
+"""Shared socket plumbing for both servers.
+
+Keeps the listener loop, per-client connection state, and response
+transmission in one place so :mod:`repro.server.baseline` and
+:mod:`repro.server.staged` contain only what differs between the two
+designs — the thread-pool topology and scheduling.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import Callable, Optional, Tuple
+
+from repro.http.errors import BadRequestError
+from repro.http.parser import ParserState, RequestParser
+from repro.http.request import HTTPRequest
+from repro.http.response import HTTPResponse
+
+#: Sockets idle longer than this are closed; protects worker threads
+#: from clients that hold keep-alive connections open silently.
+DEFAULT_SOCKET_TIMEOUT = 30.0
+
+_RECV_SIZE = 65536
+
+
+class ClientConnection:
+    """One accepted client socket plus its parse buffer.
+
+    ``read_request`` blocks until a full request is parsed (baseline
+    usage); ``read_request_line`` blocks only until the request line is
+    available (the staged server's header-parsing first step) after
+    which ``finish_request`` completes the job.  Leftover bytes from
+    pipelined requests are retained between reads.
+    """
+
+    def __init__(self, sock: socket.socket, timeout: float = DEFAULT_SOCKET_TIMEOUT):
+        self._sock = sock
+        self._sock.settimeout(timeout)
+        self._leftover = b""
+        self._parser: Optional[RequestParser] = None
+        self._send_lock = threading.Lock()
+        self.closed = False
+
+    # ------------------------------------------------------------------
+    def _ensure_parser(self) -> RequestParser:
+        if self._parser is None:
+            self._parser = RequestParser()
+            if self._leftover:
+                data, self._leftover = self._leftover, b""
+                self._parser.feed(data)
+        return self._parser
+
+    def _recv_into_parser(self, parser: RequestParser) -> bool:
+        """One socket read into the parser; False when the peer closed."""
+        try:
+            data = self._sock.recv(_RECV_SIZE)
+        except socket.timeout:
+            return False
+        except OSError:
+            return False
+        if not data:
+            return False
+        parser.feed(data)
+        return True
+
+    def read_request(self) -> Optional[HTTPRequest]:
+        """Block until a complete request arrives; None on disconnect."""
+        parser = self._ensure_parser()
+        while parser.state is not ParserState.COMPLETE:
+            if not self._recv_into_parser(parser):
+                if parser.state is ParserState.REQUEST_LINE and not parser.request_line:
+                    return None  # clean close between requests
+                raise BadRequestError("client disconnected mid-request")
+        return self._finish_parse(parser)
+
+    def read_request_line(self) -> Optional[str]:
+        """Block until the request line is parsed; None on disconnect.
+
+        This is the minimal read the staged server's header-parsing
+        thread needs to classify static vs. dynamic (paper §3.2).
+        """
+        parser = self._ensure_parser()
+        while parser.state is ParserState.REQUEST_LINE and parser.request_line is None:
+            if not self._recv_into_parser(parser):
+                if not parser.request_line:
+                    return None
+                raise BadRequestError("client disconnected mid-request-line")
+        return parser.request_line
+
+    def finish_request(self) -> HTTPRequest:
+        """Complete parsing after :meth:`read_request_line`."""
+        parser = self._ensure_parser()
+        while parser.state is not ParserState.COMPLETE:
+            if not self._recv_into_parser(parser):
+                raise BadRequestError("client disconnected mid-request")
+        return self._finish_parse(parser)
+
+    def _finish_parse(self, parser: RequestParser) -> HTTPRequest:
+        request = parser.result()
+        self._leftover = parser.leftover
+        self._parser = None
+        return request
+
+    # ------------------------------------------------------------------
+    def send_response(self, response: HTTPResponse, keep_alive: bool) -> int:
+        """Serialise and transmit; returns bytes sent (0 if peer gone)."""
+        payload = response.serialize(keep_alive=keep_alive)
+        with self._send_lock:
+            try:
+                self._sock.sendall(payload)
+            except OSError:
+                self.close()
+                return 0
+        return len(payload)
+
+    def close(self) -> None:
+        if not self.closed:
+            self.closed = True
+            try:
+                self._sock.close()
+            except OSError:  # pragma: no cover - double close race
+                pass
+
+    def close_after_error(self) -> None:
+        """Close without losing an in-flight error response.
+
+        Closing a socket while unread request bytes sit in the receive
+        buffer makes TCP send RST and discard the response we just
+        wrote (the client would see a reset instead of the 4xx/503).
+        Shut down the write side, drain briefly, then close.
+        """
+        try:
+            self._sock.shutdown(socket.SHUT_WR)
+            self._sock.settimeout(0.5)
+            while self._sock.recv(_RECV_SIZE):
+                pass
+        except OSError:
+            pass
+        self.close()
+
+
+class Listener:
+    """The single listener thread of both server designs (Figures 4–5)."""
+
+    def __init__(self, host: str, port: int,
+                 on_accept: Callable[[ClientConnection], None],
+                 backlog: int = 128,
+                 socket_timeout: float = DEFAULT_SOCKET_TIMEOUT):
+        self._server_sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._server_sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._server_sock.bind((host, port))
+        self._server_sock.listen(backlog)
+        self._server_sock.settimeout(0.2)  # poll for shutdown
+        self._on_accept = on_accept
+        self._socket_timeout = socket_timeout
+        self._stopping = threading.Event()
+        self._thread = threading.Thread(
+            target=self._accept_loop, name="listener", daemon=True
+        )
+        self.accepted = 0
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self._server_sock.getsockname()
+
+    def start(self) -> None:
+        self._thread.start()
+
+    def _accept_loop(self) -> None:
+        while not self._stopping.is_set():
+            try:
+                client_sock, _ = self._server_sock.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            self.accepted += 1
+            client_sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            self._on_accept(ClientConnection(client_sock, self._socket_timeout))
+
+    def stop(self) -> None:
+        self._stopping.set()
+        self._thread.join(timeout=2.0)
+        try:
+            self._server_sock.close()
+        except OSError:  # pragma: no cover
+            pass
+
+
+class PeriodicTask:
+    """Runs a callback every ``interval`` seconds on its own thread.
+
+    Used for the once-per-second treserve update and queue sampling.
+    """
+
+    def __init__(self, interval: float, callback: Callable[[], None],
+                 name: str = "periodic"):
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        self._interval = interval
+        self._callback = callback
+        self._stopping = threading.Event()
+        self._thread = threading.Thread(target=self._run, name=name, daemon=True)
+
+    def start(self) -> None:
+        self._thread.start()
+
+    def _run(self) -> None:
+        while not self._stopping.wait(self._interval):
+            try:
+                self._callback()
+            except Exception:  # pragma: no cover - sampler must not die
+                pass
+
+    def stop(self) -> None:
+        self._stopping.set()
+        self._thread.join(timeout=2.0)

@@ -1,0 +1,310 @@
+"""The modified server: five thread pools with staged scheduling.
+
+Paper Figure 5: a single listener thread feeds Header Parsing; header
+parsers classify each request from its request line and route it to
+Static Requests, General Dynamic Requests, or Lengthy Dynamic Requests
+(Table 1's rules against the live ``tspare``/``treserve``); dynamic
+threads generate data with their pinned database connections and pass
+``(template, data)`` results to Template Rendering, whose threads
+render, set the exact Content-Length, and transmit.
+
+Consequences implemented here, straight from §3.2–3.3:
+
+- For *dynamic* requests the header-parsing thread parses everything —
+  headers and query string into dictionaries — "because we do not want
+  a thread with an open database connection to waste time doing
+  anything other than generating data."  For *static* requests the
+  serving thread parses its own headers.
+- Data-generation time is measured "from when the request is acquired
+  through when its unrendered template is placed in the template
+  rendering queue" and fed back into the classifier.
+- ``treserve`` updates once per second from the general pool's
+  measured spare-thread count.
+- Handlers that return a pre-rendered string are served directly by
+  the dynamic thread (backward compatibility).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from repro.core.dispatch import DynamicPoolChoice
+from repro.core.policy import PolicyConfig, SchedulingPolicy
+from repro.db.pool import ConnectionPool
+from repro.http.errors import HTTPError
+from repro.http.request import HTTPRequest
+from repro.http.response import HTTPResponse
+from repro.server.app import Application
+from repro.server.gateway import (
+    UnrenderedPage,
+    error_response,
+    head_strip,
+    interpret_result,
+    render_page,
+)
+from repro.server.netbase import ClientConnection, Listener, PeriodicTask
+from repro.server.pools import PoolOverloadedError, ThreadPool
+from repro.server.static import serve_static
+from repro.server.stats import ServerStats
+from repro.util.clock import Clock, MonotonicClock
+
+
+@dataclasses.dataclass
+class RequestJob:
+    """A request travelling through the pools."""
+
+    client: ClientConnection
+    arrival: float
+    request: Optional[HTTPRequest] = None
+    page_key: str = ""
+    request_class: str = "dynamic"
+    unrendered: Optional[UnrenderedPage] = None
+
+
+class StagedServer:
+    """The paper's multiple-thread-pool web server."""
+
+    def __init__(self, app: Application, connection_pool: ConnectionPool,
+                 host: str = "127.0.0.1", port: int = 0,
+                 policy: Optional[SchedulingPolicy] = None,
+                 clock: Optional[Clock] = None,
+                 queue_sample_interval: float = 1.0,
+                 max_queue: Optional[int] = None):
+        self.app = app
+        self.connection_pool = connection_pool
+        if policy is None:
+            # Default policy sized to the connection pool: dynamic
+            # threads consume every connection, split 4:1 between the
+            # general and lengthy pools per the paper (§3.3).
+            lengthy = max(1, connection_pool.size // 5)
+            general = max(1, connection_pool.size - lengthy)
+            policy = SchedulingPolicy(PolicyConfig(
+                general_pool_size=general,
+                lengthy_pool_size=lengthy,
+                minimum_reserve=max(1, general // 8),
+                header_pool_size=2,
+                static_pool_size=2,
+                render_pool_size=2,
+            ))
+        self.policy = policy
+        config = self.policy.config
+        dynamic_threads = config.general_pool_size + config.lengthy_pool_size
+        if dynamic_threads > connection_pool.size:
+            raise ValueError(
+                f"dynamic threads ({dynamic_threads}) exceed the connection "
+                f"pool size ({connection_pool.size}); each dynamic thread "
+                f"pins one connection"
+            )
+        self.clock = clock if clock is not None else MonotonicClock()
+        self.stats = ServerStats(self.clock)
+
+        self.header_pool = ThreadPool("header", config.header_pool_size,
+                                       max_queue=max_queue)
+        self.static_pool = ThreadPool("static", config.static_pool_size)
+        self.general_pool = ThreadPool(
+            "general",
+            config.general_pool_size,
+            worker_init=self._bind_worker_connection,
+            worker_cleanup=self._release_worker_connection,
+        )
+        self.lengthy_pool = ThreadPool(
+            "lengthy",
+            config.lengthy_pool_size,
+            worker_init=self._bind_worker_connection,
+            worker_cleanup=self._release_worker_connection,
+        )
+        self.render_pool = ThreadPool("render", config.render_pool_size)
+
+        self._listener = Listener(host, port, self._on_accept)
+        self._reserve_ticker = PeriodicTask(
+            config.reserve_update_interval, self._reserve_tick, name="reserve"
+        )
+        self._sampler = PeriodicTask(
+            queue_sample_interval, self._sample_queues, name="queue-sampler"
+        )
+        self._running = False
+
+    # ------------------------------------------------------------------
+    @property
+    def address(self):
+        return self._listener.address
+
+    def start(self) -> "StagedServer":
+        self._listener.start()
+        self._reserve_ticker.start()
+        self._sampler.start()
+        self._running = True
+        return self
+
+    def stop(self) -> None:
+        if not self._running:
+            return
+        self._running = False
+        self._listener.stop()
+        self._reserve_ticker.stop()
+        self._sampler.stop()
+        for pool in (self.header_pool, self.static_pool, self.general_pool,
+                     self.lengthy_pool, self.render_pool):
+            pool.shutdown()
+
+    def __enter__(self) -> "StagedServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    def _bind_worker_connection(self) -> None:
+        self.app.bind_connection(self.connection_pool.acquire())
+
+    def _release_worker_connection(self) -> None:
+        try:
+            connection = self.app.getconn()
+        except RuntimeError:  # pragma: no cover - init failed
+            return
+        self.app.bind_connection(None)
+        self.connection_pool.release(connection)
+
+    def _reserve_tick(self) -> None:
+        tspare = self.general_pool.spare
+        self.policy.tick(tspare)
+        self.stats.sample_reserve(tspare, self.policy.treserve)
+
+    def _sample_queues(self) -> None:
+        for pool in (self.header_pool, self.static_pool, self.general_pool,
+                     self.lengthy_pool, self.render_pool):
+            self.stats.sample_queue(pool.name, pool.queue_length)
+
+    # ------------------------------------------------------------------
+    # Stage 1: listener
+    # ------------------------------------------------------------------
+    def _on_accept(self, client: ClientConnection) -> None:
+        try:
+            self.header_pool.submit(self._parse_header, client)
+        except PoolOverloadedError:
+            client.send_response(HTTPResponse.error(503), keep_alive=False)
+            client.close_after_error()
+
+    # ------------------------------------------------------------------
+    # Stage 2: header parsing + dispatch (Table 1)
+    # ------------------------------------------------------------------
+    def _parse_header(self, client: ClientConnection) -> None:
+        job = RequestJob(client=client, arrival=self.clock.now())
+        try:
+            request_line = client.read_request_line()
+        except HTTPError as exc:
+            client.send_response(HTTPResponse.error(exc.status),
+                                 keep_alive=False)
+            client.close()
+            return
+        if request_line is None:
+            client.close()
+            return
+        # The request line alone decides static vs. dynamic (§3.2).
+        try:
+            target = request_line.split(" ")[1]
+        except IndexError:
+            client.send_response(HTTPResponse.error(400), keep_alive=False)
+            client.close()
+            return
+        path = target.split("?", 1)[0]
+
+        if self.policy.classifier.is_static(path):
+            # Static threads parse their own headers.
+            job.page_key = path
+            job.request_class = "static"
+            self.static_pool.submit(self._serve_static, job)
+            return
+
+        # Dynamic: this thread parses the rest of the header data and
+        # the query string so connection-holding threads never do.
+        try:
+            job.request = client.finish_request()
+        except HTTPError as exc:
+            client.send_response(HTTPResponse.error(exc.status),
+                                 keep_alive=False)
+            client.close()
+            return
+        job.page_key = job.request.path
+        choice = self.policy.route(job.request.path, tspare=self.general_pool.spare)
+        if choice is DynamicPoolChoice.GENERAL:
+            job.request_class = "dynamic"
+            self.general_pool.submit(self._serve_dynamic, job)
+        else:
+            job.request_class = "lengthy"
+            self.lengthy_pool.submit(self._serve_dynamic, job)
+
+    # ------------------------------------------------------------------
+    # Stage 3a: static requests
+    # ------------------------------------------------------------------
+    def _serve_static(self, job: RequestJob) -> None:
+        try:
+            job.request = job.client.finish_request()
+        except HTTPError as exc:
+            job.client.send_response(HTTPResponse.error(exc.status),
+                                     keep_alive=False)
+            job.client.close()
+            return
+        try:
+            response = serve_static(self.app, job.request)
+        except Exception as exc:
+            response = error_response(exc)
+        self._complete(job, response)
+
+    # ------------------------------------------------------------------
+    # Stage 3b: dynamic requests (data generation)
+    # ------------------------------------------------------------------
+    def _serve_dynamic(self, job: RequestJob) -> None:
+        assert job.request is not None
+        generation_started = self.clock.now()
+        try:
+            result = self.app.invoke(job.request)
+        except Exception as exc:
+            self._complete(job, error_response(exc))
+            return
+        outcome = interpret_result(result)
+        if isinstance(outcome, UnrenderedPage):
+            job.unrendered = outcome
+            # Measure up to the moment the unrendered template is
+            # placed in the rendering queue (§3.3) and feed it back.
+            generation_seconds = self.clock.now() - generation_started
+            self.policy.record_generation_time(job.page_key, generation_seconds)
+            self.stats.record_generation_time(job.page_key, generation_seconds)
+            self.render_pool.submit(self._render, job)
+        else:
+            # Backward compatibility: a pre-rendered string is sent by
+            # this thread directly (§3.2).
+            generation_seconds = self.clock.now() - generation_started
+            self.policy.record_generation_time(job.page_key, generation_seconds)
+            self.stats.record_generation_time(job.page_key, generation_seconds)
+            self._complete(job, HTTPResponse.html(outcome))
+
+    # ------------------------------------------------------------------
+    # Stage 4: template rendering
+    # ------------------------------------------------------------------
+    def _render(self, job: RequestJob) -> None:
+        assert job.unrendered is not None
+        try:
+            response = render_page(self.app, job.unrendered)
+        except Exception as exc:
+            response = error_response(exc)
+        self._complete(job, response)
+
+    # ------------------------------------------------------------------
+    def _complete(self, job: RequestJob, response: HTTPResponse) -> None:
+        """Transmit and either recycle (keep-alive) or close."""
+        response = head_strip(job.request, response)
+        keep_alive = job.request.keep_alive if job.request is not None else False
+        job.client.send_response(response, keep_alive=keep_alive)
+        self.stats.record_completion(
+            job.page_key, job.request_class, self.clock.now() - job.arrival
+        )
+        if keep_alive and not job.client.closed and self._running:
+            try:
+                self.header_pool.submit(self._parse_header, job.client)
+            except (PoolOverloadedError, RuntimeError):
+                # Queue full, or the pool shut down mid-flight.
+                job.client.close()
+        else:
+            job.client.close()

@@ -1,0 +1,71 @@
+"""Static file serving."""
+
+from __future__ import annotations
+
+from repro.http.request import HTTPRequest
+from repro.http.response import HTTPResponse
+from repro.server.app import Application
+
+#: Content types by extension for the static assets a 2009 site serves.
+CONTENT_TYPES = {
+    "html": "text/html; charset=utf-8",
+    "htm": "text/html; charset=utf-8",
+    "css": "text/css",
+    "js": "application/javascript",
+    "txt": "text/plain; charset=utf-8",
+    "xml": "application/xml",
+    "gif": "image/gif",
+    "jpg": "image/jpeg",
+    "jpeg": "image/jpeg",
+    "png": "image/png",
+    "ico": "image/x-icon",
+    "bmp": "image/bmp",
+    "pdf": "application/pdf",
+    "zip": "application/zip",
+    "gz": "application/gzip",
+    "swf": "application/x-shockwave-flash",
+}
+
+
+def content_type_for(path: str) -> str:
+    """Content type from the path's extension."""
+    name = path.rsplit("/", 1)[-1]
+    if "." in name:
+        ext = name.rsplit(".", 1)[1].lower()
+        if ext in CONTENT_TYPES:
+            return CONTENT_TYPES[ext]
+    return "application/octet-stream"
+
+
+def serve_static(app: Application, request: HTTPRequest) -> HTTPResponse:
+    """Build the response for a static request (raises NotFoundError).
+
+    Supports conditional GET: a matching ``If-None-Match`` yields 304
+    Not Modified with an empty body — the browser-cache behaviour the
+    TPC-W emulated browsers rely on to keep image traffic realistic.
+    """
+    etag = app.static_etag(request.path)
+    if _etag_matches(request.header("if-none-match"), etag):
+        return HTTPResponse(
+            status=304,
+            body=b"",
+            headers={"ETag": etag, "Content-Length": "0"},
+        )
+    content = app.static_content(request.path)
+    return HTTPResponse(
+        status=200,
+        body=content,
+        headers={
+            "Content-Type": content_type_for(request.path),
+            "ETag": etag,
+        },
+    )
+
+
+def _etag_matches(header: str, etag: str) -> bool:
+    if not header:
+        return False
+    if header.strip() == "*":
+        return True
+    candidates = [c.strip() for c in header.split(",")]
+    return etag in candidates

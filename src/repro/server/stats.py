@@ -1,0 +1,111 @@
+"""Server-side metrics: completions, response times, queue samples.
+
+Feeds the experiment harness with exactly what the paper reports:
+per-page completion counts (Table 4), per-page response-time averages
+(Table 3 is measured client-side; the server keeps its own view), and
+queue-length time series for each pool (Figures 7–8).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Optional
+
+from repro.util.clock import Clock, MonotonicClock
+from repro.util.timeseries import TimeSeries, WelfordAccumulator
+
+
+class ServerStats:
+    """Thread-safe metric sink shared by all of a server's pools."""
+
+    def __init__(self, clock: Optional[Clock] = None):
+        self.clock = clock if clock is not None else MonotonicClock()
+        self.started_at = self.clock.now()
+        self._lock = threading.Lock()
+        self._completions: Dict[str, int] = {}
+        self._response_times: Dict[str, WelfordAccumulator] = {}
+        self._generation_times: Dict[str, WelfordAccumulator] = {}
+        self._completion_events = TimeSeries("completions")
+        self._class_events: Dict[str, TimeSeries] = {}
+        self.queue_series: Dict[str, TimeSeries] = {}
+        self.spare_series = TimeSeries("general-spare")
+        self.treserve_series = TimeSeries("treserve")
+
+    # ------------------------------------------------------------------
+    def record_completion(self, page: str, request_class: str,
+                          response_seconds: float) -> None:
+        """One finished web interaction."""
+        now = self.clock.now() - self.started_at
+        with self._lock:
+            self._completions[page] = self._completions.get(page, 0) + 1
+            accumulator = self._response_times.get(page)
+            if accumulator is None:
+                accumulator = WelfordAccumulator(page)
+                self._response_times[page] = accumulator
+        accumulator.add(response_seconds)
+        self._completion_events.append(now, 1.0)
+        with self._lock:
+            series = self._class_events.get(request_class)
+            if series is None:
+                series = TimeSeries(f"completions/{request_class}")
+                self._class_events[request_class] = series
+        series.append(now, 1.0)
+
+    def record_generation_time(self, page: str, seconds: float) -> None:
+        """Data-generation time for a dynamic page (server-side view)."""
+        with self._lock:
+            accumulator = self._generation_times.get(page)
+            if accumulator is None:
+                accumulator = WelfordAccumulator(page)
+                self._generation_times[page] = accumulator
+        accumulator.add(seconds)
+
+    def sample_queue(self, pool_name: str, length: int) -> None:
+        now = self.clock.now() - self.started_at
+        with self._lock:
+            series = self.queue_series.get(pool_name)
+            if series is None:
+                series = TimeSeries(f"queue/{pool_name}")
+                self.queue_series[pool_name] = series
+        series.append(now, length)
+
+    def sample_reserve(self, tspare: int, treserve: int) -> None:
+        now = self.clock.now() - self.started_at
+        self.spare_series.append(now, tspare)
+        self.treserve_series.append(now, treserve)
+
+    # ------------------------------------------------------------------
+    def completions(self) -> Dict[str, int]:
+        with self._lock:
+            return dict(self._completions)
+
+    def total_completions(self) -> int:
+        with self._lock:
+            return sum(self._completions.values())
+
+    def mean_response_times(self) -> Dict[str, float]:
+        with self._lock:
+            accumulators = dict(self._response_times)
+        return {
+            page: acc.mean for page, acc in accumulators.items() if acc.count
+        }
+
+    def mean_generation_times(self) -> Dict[str, float]:
+        with self._lock:
+            accumulators = dict(self._generation_times)
+        return {
+            page: acc.mean for page, acc in accumulators.items() if acc.count
+        }
+
+    def throughput_series(self, bucket_seconds: float = 60.0) -> TimeSeries:
+        """Completions per bucket over the run (paper's Figure 9 shape)."""
+        return self._completion_events.bucketize(bucket_seconds)
+
+    def class_throughput_series(self, request_class: str,
+                                bucket_seconds: float = 60.0) -> TimeSeries:
+        """Per-class completions per bucket (Figure 10)."""
+        with self._lock:
+            series = self._class_events.get(request_class)
+        if series is None:
+            return TimeSeries(f"completions/{request_class}")
+        return series.bucketize(bucket_seconds)

@@ -1,0 +1,51 @@
+"""Discrete-event simulation of both servers at the paper's scale.
+
+The paper's evaluation ran 400 emulated browsers against a three-host
+testbed for an hour per configuration.  Re-running that in real time is
+not reproducible on a laptop, so this package executes the same closed
+queueing system in simulated time:
+
+- :mod:`repro.sim.kernel` — a generator-based discrete-event kernel
+  (event heap, processes, one-shot events).
+- :mod:`repro.sim.resources` — simulated thread pools (token resources
+  whose waiter queues are the plotted queue lengths), a
+  processor-sharing server for the database host, and a FIFO
+  shared/exclusive table-lock manager mirroring
+  :mod:`repro.db.locks`.
+- :mod:`repro.sim.server` — the thread-per-request and staged server
+  models.  The staged model embeds the *real*
+  :class:`repro.core.SchedulingPolicy` — classification, Table 1
+  dispatch, and the treserve controller are the production code, not a
+  re-implementation.
+- :mod:`repro.sim.workload` — per-page service-demand profiles
+  (derived from profiling the real TPC-W implementation, see
+  :mod:`repro.tpcw.profile`) and the closed-loop emulated browsers.
+- :mod:`repro.sim.results` — metric collection for every table and
+  figure in the paper's Section 4.
+"""
+
+from repro.sim.kernel import Simulation, SimEvent
+from repro.sim.resources import PSServer, SimLockTable, SimThreadPool
+from repro.sim.results import SimResults
+from repro.sim.server import SimBaselineServer, SimStagedServer
+from repro.sim.workload import (
+    DEFAULT_PROFILES,
+    PageProfile,
+    WorkloadConfig,
+    run_tpcw_simulation,
+)
+
+__all__ = [
+    "Simulation",
+    "SimEvent",
+    "PSServer",
+    "SimLockTable",
+    "SimThreadPool",
+    "SimResults",
+    "SimBaselineServer",
+    "SimStagedServer",
+    "DEFAULT_PROFILES",
+    "PageProfile",
+    "WorkloadConfig",
+    "run_tpcw_simulation",
+]

@@ -1,0 +1,140 @@
+"""Generator-based discrete-event simulation kernel.
+
+Processes are Python generators.  A process yields one of:
+
+- a number — sleep that many simulated seconds;
+- a :class:`SimEvent` — suspend until the event fires; the event's
+  value is sent back into the generator.
+
+The kernel is deliberately tiny (an event heap and a trampoline) and
+deterministic: ties in time break by schedule order.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, List, Optional, Tuple
+
+Process = Generator[Any, Any, None]
+
+
+class SimEvent:
+    """A one-shot event processes can wait on.
+
+    Multiple processes may wait on the same event; all resume (in wait
+    order) when it fires, each receiving the fired value.
+    """
+
+    __slots__ = ("sim", "fired", "value", "_waiters")
+
+    def __init__(self, sim: "Simulation"):
+        self.sim = sim
+        self.fired = False
+        self.value: Any = None
+        self._waiters: List[Process] = []
+
+    def fire(self, value: Any = None) -> None:
+        """Fire now; waiting processes resume at the current time."""
+        if self.fired:
+            raise RuntimeError("SimEvent fired twice")
+        self.fired = True
+        self.value = value
+        waiters, self._waiters = self._waiters, []
+        for process in waiters:
+            self.sim._schedule_resume(process, value)
+
+    def fire_in(self, delay: float, value: Any = None) -> None:
+        """Fire after ``delay`` simulated seconds."""
+        self.sim.call_later(delay, self.fire, value)
+
+    def _add_waiter(self, process: Process) -> None:
+        if self.fired:
+            self.sim._schedule_resume(process, self.value)
+        else:
+            self._waiters.append(process)
+
+
+class Simulation:
+    """The event loop."""
+
+    def __init__(self):
+        self.now = 0.0
+        self._heap: List[Tuple[float, int, Callable, tuple]] = []
+        self._seq = 0
+        self.events_processed = 0
+        self._done_events: dict = {}
+
+    # ------------------------------------------------------------------
+    def call_later(self, delay: float, callback: Callable, *args: Any) -> None:
+        """Schedule ``callback(*args)`` after ``delay`` seconds."""
+        if delay < 0:
+            raise ValueError(f"delay must be >= 0, got {delay}")
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, self._seq, callback, args))
+
+    def event(self) -> SimEvent:
+        """A fresh one-shot event bound to this simulation."""
+        return SimEvent(self)
+
+    # ------------------------------------------------------------------
+    def spawn(self, process: Process) -> SimEvent:
+        """Start a process now; returns an event fired when it finishes.
+
+        The completion event's value is the process's return value
+        (``StopIteration.value``).
+        """
+        if not hasattr(process, "send"):
+            raise TypeError(
+                f"spawn expects a generator, got {type(process).__name__}; "
+                f"did you forget to call the process function?"
+            )
+        done = self.event()
+        # Generators do not accept attributes; track completion events
+        # by identity (entries are removed the moment a process ends).
+        self._done_events[id(process)] = done
+        self._schedule_resume(process, None)
+        return done
+
+    def _schedule_resume(self, process: Process, value: Any) -> None:
+        self.call_later(0.0, self._step, process, value)
+
+    def _step(self, process: Process, value: Any) -> None:
+        try:
+            yielded = process.send(value)
+        except StopIteration as stop:
+            done = self._done_events.pop(id(process), None)
+            if done is not None and not done.fired:
+                done.fire(stop.value)
+            return
+        if isinstance(yielded, SimEvent):
+            yielded._add_waiter(process)
+        elif isinstance(yielded, (int, float)):
+            if yielded < 0:
+                raise ValueError(
+                    f"process yielded a negative delay: {yielded!r}"
+                )
+            self.call_later(float(yielded), self._step, process, None)
+        else:
+            raise TypeError(
+                f"process yielded {type(yielded).__name__}; expected a "
+                f"number (delay) or SimEvent"
+            )
+
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None) -> float:
+        """Process events until the heap empties or ``until`` is reached.
+
+        Returns the final simulated time.
+        """
+        while self._heap:
+            at, _, callback, args = self._heap[0]
+            if until is not None and at > until:
+                self.now = until
+                return self.now
+            heapq.heappop(self._heap)
+            self.now = at
+            self.events_processed += 1
+            callback(*args)
+        if until is not None:
+            self.now = max(self.now, until)
+        return self.now

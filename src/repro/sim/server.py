@@ -1,0 +1,298 @@
+"""Simulated server models: thread-per-request vs. the staged design.
+
+Both models share the same substrate — a processor-sharing database
+host, a processor-sharing web host, FIFO table locks — and differ only
+in thread-pool topology, exactly as in the real implementations.  The
+staged model embeds the *real* :class:`repro.core.SchedulingPolicy`:
+dispatch decisions, the service-time tracker, and the treserve
+controller run the production code against simulated time.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.dispatch import Dispatcher, DynamicPoolChoice
+from repro.core.policy import PolicyConfig, SchedulingPolicy
+from repro.sim.kernel import SimEvent, Simulation
+from repro.sim.resources import (
+    PrioritySimThreadPool,
+    PSServer,
+    SimLockTable,
+    SimThreadPool,
+)
+from repro.sim.results import SimResults
+from repro.sim.workload import PageProfile, WorkloadConfig, _report_class
+
+
+class _SimServerBase:
+    """Shared plumbing: the two hosts, the lock table, DB phases."""
+
+    def __init__(self, sim: Simulation, config: WorkloadConfig,
+                 results: SimResults):
+        self.sim = sim
+        self.config = config
+        self.results = results
+        self.db = PSServer(sim, "database", cores=config.db_cores)
+        self.web = PSServer(sim, "webserver", cores=config.web_cores)
+        self.locks = SimLockTable(sim)
+
+    # ------------------------------------------------------------------
+    def _db_phase(self, profile: PageProfile, jitter: float):
+        """The data-generation phase: read holds, query, optional write
+        grace period.  The calling thread (and its pinned database
+        connection) is occupied for the entire phase."""
+        read_tables = sorted(profile.read_tables)
+        tokens = [(table, self.locks.acquire_read(table))
+                  for table in read_tables]
+        try:
+            if profile.db_demand > 0:
+                yield self.db.serve(profile.db_demand * jitter)
+        finally:
+            for table, token in reversed(tokens):
+                self.locks.release_read(table, token)
+        if profile.write_table is not None:
+            yield self.locks.acquire_write(profile.write_table)
+            try:
+                yield self.db.serve(profile.write_demand * jitter)
+            finally:
+                self.locks.release_write(profile.write_table)
+
+    def submit_page(self, profile: PageProfile, jitter: float) -> SimEvent:
+        return self.sim.spawn(self._page_process(profile, jitter))
+
+    def submit_static(self, demand: float) -> SimEvent:
+        return self.sim.spawn(self._static_process(demand))
+
+    def _page_process(self, profile: PageProfile, jitter: float):
+        raise NotImplementedError
+
+    def _static_process(self, demand: float):
+        raise NotImplementedError
+
+    def sample(self, results: SimResults) -> None:
+        raise NotImplementedError
+
+
+class SimBaselineServer(_SimServerBase):
+    """Thread-per-request (paper Figure 4): one pool does everything;
+    every worker pins a database connection for its lifetime."""
+
+    def __init__(self, sim: Simulation, config: WorkloadConfig,
+                 results: SimResults):
+        super().__init__(sim, config, results)
+        self.workers = SimThreadPool(sim, "worker", config.baseline_workers)
+
+    def _page_process(self, profile: PageProfile, jitter: float):
+        yield self.workers.acquire(tag="dynamic")
+        try:
+            # The same thread parses, queries, and renders; its pinned
+            # connection is idle during parse and render.
+            yield self.web.serve(profile.parse_demand)
+            generation_start = self.sim.now
+            yield from self._db_phase(profile, jitter)
+            self.results.record_generation(
+                self.sim.now, profile.path, self.sim.now - generation_start
+            )
+            if profile.render_demand > 0:
+                yield self.web.serve(profile.render_demand * jitter)
+        finally:
+            self.workers.release()
+        self.results.record_request(self.sim.now, "dynamic")
+        self.results.record_request(self.sim.now, _report_class(profile.path))
+
+    def _static_process(self, demand: float):
+        yield self.workers.acquire(tag="static")
+        try:
+            yield self.web.serve(demand)
+        finally:
+            self.workers.release()
+        self.results.record_request(self.sim.now, "static")
+
+    def sample(self, results: SimResults) -> None:
+        now = self.sim.now
+        # Figure 7 plots queued *dynamic* requests on the single queue.
+        results.sample_queue(now, "dynamic", self.workers.queued_with_tag("dynamic"))
+        results.sample_queue(now, "all", self.workers.queue_length)
+        results.sample_db(now, self.db.active_jobs)
+
+
+class SimStagedServer(_SimServerBase):
+    """The paper's five-pool staged server (Figure 5), driven by the
+    real :class:`SchedulingPolicy`."""
+
+    def __init__(self, sim: Simulation, config: WorkloadConfig,
+                 results: SimResults,
+                 dispatcher: Optional[Dispatcher] = None,
+                 render_inline: bool = False):
+        super().__init__(sim, config, results)
+        #: Ablation A5: render on the connection-holding dynamic thread
+        #: (as the baseline does) instead of the render pool.
+        self.render_inline = render_inline
+        self.policy = SchedulingPolicy(
+            PolicyConfig(
+                lengthy_cutoff=config.lengthy_cutoff,
+                minimum_reserve=config.minimum_reserve,
+                maximum_reserve=config.maximum_reserve,
+                general_pool_size=config.general_pool,
+                lengthy_pool_size=config.lengthy_pool,
+                header_pool_size=config.header_pool,
+                static_pool_size=config.static_pool,
+                render_pool_size=config.render_pool,
+            ),
+            dispatcher=dispatcher,
+        )
+        if config.warm_start:
+            from repro.sim.workload import DEFAULT_PROFILES
+
+            for path, profile in DEFAULT_PROFILES.items():
+                if profile.db_demand > 0:
+                    self.policy.tracker.prime(path, profile.db_demand)
+        self.header_pool = SimThreadPool(sim, "header", config.header_pool)
+        self.static_pool = SimThreadPool(sim, "static", config.static_pool)
+        self.general_pool = SimThreadPool(sim, "general", config.general_pool)
+        self.lengthy_pool = SimThreadPool(sim, "lengthy", config.lengthy_pool)
+        self.render_pool = SimThreadPool(sim, "render", config.render_pool)
+        self._last_tick = 0.0
+
+    def _page_process(self, profile: PageProfile, jitter: float):
+        # Stage 1-2: header parsing (full parse for dynamic requests).
+        yield self.header_pool.acquire(tag="header")
+        try:
+            yield self.web.serve(profile.parse_demand)
+            choice = self.policy.route(
+                profile.path, tspare=self.general_pool.spare
+            )
+        finally:
+            self.header_pool.release()
+
+        # Stage 3: data generation on a connection-holding thread.
+        if choice is DynamicPoolChoice.GENERAL:
+            pool, tag = self.general_pool, "general"
+        else:
+            pool, tag = self.lengthy_pool, "lengthy"
+        yield pool.acquire(tag=tag)
+        try:
+            generation_start = self.sim.now
+            yield from self._db_phase(profile, jitter)
+            generation_seconds = self.sim.now - generation_start
+            # Feed the live classifier, exactly as the real server does
+            # at the moment the unrendered template is enqueued (§3.3).
+            self.policy.record_generation_time(profile.path, generation_seconds)
+            self.results.record_generation(
+                self.sim.now, profile.path, generation_seconds
+            )
+            if self.render_inline and profile.render_demand > 0:
+                # A5: the connection sits idle while this thread renders.
+                yield self.web.serve(profile.render_demand * jitter)
+        finally:
+            pool.release()
+
+        if not self.render_inline:
+            # Stage 4: template rendering on a connection-free thread.
+            yield self.render_pool.acquire(tag="render")
+            try:
+                if profile.render_demand > 0:
+                    yield self.web.serve(profile.render_demand * jitter)
+            finally:
+                self.render_pool.release()
+        self.results.record_request(self.sim.now, "dynamic")
+        self.results.record_request(self.sim.now, _report_class(profile.path))
+
+    def _static_process(self, demand: float):
+        # Header pool reads the request line only, then the static pool
+        # parses its own headers and serves the file (§3.2).
+        yield self.header_pool.acquire(tag="header")
+        try:
+            yield self.web.serve(0.0002)
+        finally:
+            self.header_pool.release()
+        yield self.static_pool.acquire(tag="static")
+        try:
+            yield self.web.serve(demand)
+        finally:
+            self.static_pool.release()
+        self.results.record_request(self.sim.now, "static")
+
+    def sample(self, results: SimResults) -> None:
+        now = self.sim.now
+        tspare = self.general_pool.spare
+        # The once-per-second treserve update (§3.3) rides the sampler,
+        # which runs at the same 1 Hz cadence as the real server's timer.
+        if now - self._last_tick >= self.policy.config.reserve_update_interval - 1e-9:
+            self.policy.tick(tspare)
+            self._last_tick = now
+        results.sample_reserve(now, tspare, self.policy.treserve)
+        results.sample_queue(now, "general", self.general_pool.queue_length)
+        results.sample_queue(now, "lengthy", self.lengthy_pool.queue_length)
+        results.sample_queue(now, "static", self.static_pool.queue_length)
+        results.sample_queue(now, "render", self.render_pool.queue_length)
+        results.sample_queue(now, "header", self.header_pool.queue_length)
+        results.sample_db(now, self.db.active_jobs)
+
+
+class SimSJFServer(_SimServerBase):
+    """Related-work comparison: Shortest-Job-First over a single pool.
+
+    The paper (§3.3, §5) claims its two-pool scheme "achieves effects
+    similar to Shortest Job First scheduling, but without causing the
+    starvation of lengthy jobs."  This model tests that claim: one
+    worker pool (thread-per-request, pinned connections, renders
+    inline — the baseline's structure) whose queue is ordered by each
+    page's *tracked mean generation time* (the same
+    :class:`ServiceTimeTracker` estimate the staged server uses), so
+    short jobs always jump the queue.
+    """
+
+    def __init__(self, sim: Simulation, config: WorkloadConfig,
+                 results: SimResults):
+        super().__init__(sim, config, results)
+        self.workers = PrioritySimThreadPool(
+            sim, "sjf-worker", config.baseline_workers
+        )
+        # Reuse the policy's tracker purely as the size estimator.
+        self.policy = SchedulingPolicy(
+            PolicyConfig(
+                lengthy_cutoff=config.lengthy_cutoff,
+                minimum_reserve=1,
+                general_pool_size=config.baseline_workers,
+                lengthy_pool_size=1,
+            )
+        )
+
+    def _page_process(self, profile: PageProfile, jitter: float):
+        estimate = self.policy.tracker.mean_time(profile.path)
+        priority = estimate if estimate is not None else 0.0
+        yield self.workers.acquire(tag="dynamic", priority=priority)
+        try:
+            yield self.web.serve(profile.parse_demand)
+            generation_start = self.sim.now
+            yield from self._db_phase(profile, jitter)
+            generation_seconds = self.sim.now - generation_start
+            self.policy.record_generation_time(profile.path,
+                                               generation_seconds)
+            self.results.record_generation(
+                self.sim.now, profile.path, generation_seconds
+            )
+            if profile.render_demand > 0:
+                yield self.web.serve(profile.render_demand * jitter)
+        finally:
+            self.workers.release()
+        self.results.record_request(self.sim.now, "dynamic")
+        self.results.record_request(self.sim.now, _report_class(profile.path))
+
+    def _static_process(self, demand: float):
+        # Statics are known-small: priority 0 (jump lengthy jobs).
+        yield self.workers.acquire(tag="static", priority=0.0)
+        try:
+            yield self.web.serve(demand)
+        finally:
+            self.workers.release()
+        self.results.record_request(self.sim.now, "static")
+
+    def sample(self, results: SimResults) -> None:
+        now = self.sim.now
+        results.sample_queue(now, "dynamic",
+                             self.workers.queued_with_tag("dynamic"))
+        results.sample_queue(now, "all", self.workers.queue_length)
+        results.sample_db(now, self.db.active_jobs)

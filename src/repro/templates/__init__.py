@@ -1,0 +1,42 @@
+"""From-scratch Django-style template engine.
+
+Supports the constructs the paper's TPC-W templates need (and the ones
+any Django template of the era would use):
+
+- Variable tags with dotted lookup and filters:
+  ``{{ item.title|upper }}``, ``{{ price|floatformat:2 }}``.
+- Block tags: ``{% for x in seq %} ... {% empty %} ... {% endfor %}``
+  (with the ``forloop`` context object), ``{% if %}/{% elif %}/{% else
+  %}`` with comparisons and ``and``/``or``/``not``, ``{% include %}``.
+- Comments: ``{# ... #}`` and ``{% comment %} ... {% endcomment %}``.
+- HTML autoescaping with a ``safe`` filter opt-out.
+
+Templates compile to a node tree once and are cached by the
+:class:`TemplateEngine` loader; rendering walks the tree with a
+:class:`Context`.  Rendering is a pure function of (template, data),
+which is exactly the property the paper's staged design exploits: a
+handler can return ``("name.html", data)`` and any template-rendering
+thread can finish the job.
+"""
+
+from repro.templates.context import Context
+from repro.templates.engine import Template, TemplateEngine
+from repro.templates.errors import (
+    TemplateError,
+    TemplateNotFoundError,
+    TemplateRenderError,
+    TemplateSyntaxError,
+)
+from repro.templates.filters import FILTERS, register_filter
+
+__all__ = [
+    "Context",
+    "Template",
+    "TemplateEngine",
+    "TemplateError",
+    "TemplateNotFoundError",
+    "TemplateRenderError",
+    "TemplateSyntaxError",
+    "FILTERS",
+    "register_filter",
+]

@@ -1,0 +1,116 @@
+"""Render context: a stack of scopes with Django-style dotted lookup."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional
+
+
+class _Missing:
+    """Sentinel for a failed lookup (None is a legitimate value)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<missing>"
+
+
+MISSING = _Missing()
+
+
+class Context:
+    """A stack of variable scopes.
+
+    The outermost scope is the data dict the handler returned; block
+    tags (``{% for %}``) push and pop inner scopes.  Dotted lookup
+    resolves each segment as, in order: dict key, list/tuple index (if
+    the segment is an integer), then attribute; callables found along
+    the way are called with no arguments (Django semantics).
+    """
+
+    def __init__(self, data: Optional[Dict[str, Any]] = None, autoescape: bool = True):
+        self._stack: List[Dict[str, Any]] = [dict(data) if data else {}]
+        self.autoescape = autoescape
+
+    def push(self, scope: Optional[Dict[str, Any]] = None) -> None:
+        self._stack.append(dict(scope) if scope else {})
+
+    def pop(self) -> None:
+        if len(self._stack) == 1:
+            raise IndexError("cannot pop the root context scope")
+        self._stack.pop()
+
+    def __enter__(self) -> "Context":
+        self.push()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.pop()
+
+    def __setitem__(self, name: str, value: Any) -> None:
+        self._stack[-1][name] = value
+
+    def __contains__(self, name: str) -> bool:
+        return any(name in scope for scope in reversed(self._stack))
+
+    def get(self, name: str, default: Any = None) -> Any:
+        for scope in reversed(self._stack):
+            if name in scope:
+                return scope[name]
+        return default
+
+    def resolve(self, dotted: str) -> Any:
+        """Resolve ``a.b.0.c``; returns MISSING if any step fails."""
+        first, _, rest = dotted.partition(".")
+        value: Any = MISSING
+        for scope in reversed(self._stack):
+            if first in scope:
+                value = scope[first]
+                break
+        if value is MISSING:
+            return MISSING
+        for segment in _segments(rest):
+            value = _step(value, segment)
+            if value is MISSING:
+                return MISSING
+        if callable(value):
+            try:
+                value = value()
+            except TypeError:
+                return MISSING
+        return value
+
+    def flatten(self) -> Dict[str, Any]:
+        """All visible names, inner scopes shadowing outer ones."""
+        merged: Dict[str, Any] = {}
+        for scope in self._stack:
+            merged.update(scope)
+        return merged
+
+
+def _segments(rest: str) -> Iterator[str]:
+    if not rest:
+        return
+    for segment in rest.split("."):
+        yield segment
+
+
+def _step(value: Any, segment: str) -> Any:
+    """One dotted-lookup step: key, then index, then attribute."""
+    # Dict key first (covers the common data-dict case).
+    if isinstance(value, dict):
+        if segment in value:
+            found = value[segment]
+            return found() if callable(found) else found
+        return MISSING
+    # Integer index into a sequence.
+    if segment.lstrip("-").isdigit():
+        try:
+            return value[int(segment)]
+        except (IndexError, KeyError, TypeError):
+            return MISSING
+    # Attribute access, refusing underscore-private names.
+    if segment.startswith("_"):
+        return MISSING
+    try:
+        found = getattr(value, segment)
+    except AttributeError:
+        return MISSING
+    return found

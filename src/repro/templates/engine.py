@@ -1,0 +1,95 @@
+"""Template loading, compilation caching, and rendering."""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Any, Dict, List, Optional
+
+from repro.templates.context import Context
+from repro.templates.errors import TemplateNotFoundError
+from repro.templates.nodes import Node
+from repro.templates.parser import TemplateParser
+
+
+class Template:
+    """A compiled template: render with a data dict or a Context."""
+
+    def __init__(self, source: str, name: str = "<string>", engine=None):
+        self.name = name
+        self.source = source
+        self.nodes: List[Node] = TemplateParser(source, name, engine).parse()
+
+    def render(self, data: Optional[Dict[str, Any]] = None,
+               autoescape: bool = True) -> str:
+        """Render with a plain data dict (the common handler case)."""
+        context = data if isinstance(data, Context) else Context(data, autoescape)
+        return self.render_context(context)
+
+    def render_context(self, context: Context) -> str:
+        parts: List[str] = []
+        for node in self.nodes:
+            node.render(context, parts)
+        return "".join(parts)
+
+
+class TemplateEngine:
+    """A template loader with a compiled-template cache.
+
+    Templates come either from a directory of files or from an in-memory
+    mapping (used heavily in tests and by the TPC-W package, which ships
+    its templates as package data).  Compilation happens once per name;
+    the cache is thread-safe because in the staged server many rendering
+    threads share one engine.
+    """
+
+    def __init__(self, directory: Optional[str] = None,
+                 sources: Optional[Dict[str, str]] = None):
+        self.directory = directory
+        self._sources: Dict[str, str] = dict(sources) if sources else {}
+        self._cache: Dict[str, Template] = {}
+        self._lock = threading.Lock()
+
+    def add_source(self, name: str, source: str) -> None:
+        """Register (or replace) an in-memory template."""
+        with self._lock:
+            self._sources[name] = source
+            self._cache.pop(name, None)
+
+    def get_template(self, name: str) -> Template:
+        """Load and compile ``name``, consulting the cache first."""
+        with self._lock:
+            cached = self._cache.get(name)
+        if cached is not None:
+            return cached
+        source = self._load_source(name)
+        template = Template(source, name, engine=self)
+        with self._lock:
+            # A racing thread may have compiled it first; keep the
+            # existing entry so includes see a single instance.
+            return self._cache.setdefault(name, template)
+
+    def render(self, name: str, data: Optional[Dict[str, Any]] = None) -> str:
+        """Convenience: load + render in one call."""
+        return self.get_template(name).render(data)
+
+    def invalidate(self, name: Optional[str] = None) -> None:
+        """Drop one cached template, or the whole cache."""
+        with self._lock:
+            if name is None:
+                self._cache.clear()
+            else:
+                self._cache.pop(name, None)
+
+    def _load_source(self, name: str) -> str:
+        if name in self._sources:
+            return self._sources[name]
+        if self.directory is not None:
+            path = os.path.normpath(os.path.join(self.directory, name))
+            # Refuse path traversal out of the template directory.
+            root = os.path.abspath(self.directory)
+            if os.path.commonpath([root, os.path.abspath(path)]) == root:
+                if os.path.isfile(path):
+                    with open(path, "r", encoding="utf-8") as f:
+                        return f.read()
+        raise TemplateNotFoundError(name)

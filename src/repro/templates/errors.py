@@ -1,0 +1,36 @@
+"""Template engine error types."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class TemplateError(Exception):
+    """Base class for all template engine errors."""
+
+
+class TemplateSyntaxError(TemplateError):
+    """Raised at compile time for malformed template source."""
+
+    def __init__(self, message: str, template_name: Optional[str] = None,
+                 line: Optional[int] = None):
+        location = ""
+        if template_name:
+            location += f" in {template_name!r}"
+        if line is not None:
+            location += f" at line {line}"
+        super().__init__(f"{message}{location}")
+        self.template_name = template_name
+        self.line = line
+
+
+class TemplateRenderError(TemplateError):
+    """Raised at render time (bad filter argument, include failure, ...)."""
+
+
+class TemplateNotFoundError(TemplateError):
+    """The loader could not find the named template."""
+
+    def __init__(self, name: str):
+        super().__init__(f"template not found: {name!r}")
+        self.name = name

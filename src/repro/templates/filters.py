@@ -1,0 +1,204 @@
+"""Built-in template filters and the HTML-escaping machinery."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+
+class SafeString(str):
+    """A string already escaped (or declared safe); never re-escaped."""
+
+
+def escape_html(value: Any) -> str:
+    """Escape &, <, >, quotes.  Safe strings pass through untouched."""
+    if isinstance(value, SafeString):
+        return value
+    text = value if isinstance(value, str) else str(value)
+    return (
+        text.replace("&", "&amp;")
+        .replace("<", "&lt;")
+        .replace(">", "&gt;")
+        .replace('"', "&quot;")
+        .replace("'", "&#39;")
+    )
+
+
+FILTERS: Dict[str, Callable[..., Any]] = {}
+
+
+def register_filter(name: str, func: Optional[Callable[..., Any]] = None):
+    """Register a filter, usable as a decorator or a direct call."""
+
+    def decorator(f: Callable[..., Any]) -> Callable[..., Any]:
+        FILTERS[name] = f
+        return f
+
+    if func is not None:
+        return decorator(func)
+    return decorator
+
+
+def _require_no_arg(name: str, arg: Optional[str]) -> None:
+    if arg is not None:
+        raise ValueError(f"filter {name!r} takes no argument")
+
+
+@register_filter("upper")
+def _upper(value: Any, arg: Optional[str] = None) -> str:
+    _require_no_arg("upper", arg)
+    return str(value).upper()
+
+
+@register_filter("lower")
+def _lower(value: Any, arg: Optional[str] = None) -> str:
+    _require_no_arg("lower", arg)
+    return str(value).lower()
+
+
+@register_filter("capfirst")
+def _capfirst(value: Any, arg: Optional[str] = None) -> str:
+    _require_no_arg("capfirst", arg)
+    text = str(value)
+    return text[:1].upper() + text[1:]
+
+
+@register_filter("title")
+def _title(value: Any, arg: Optional[str] = None) -> str:
+    _require_no_arg("title", arg)
+    return str(value).title()
+
+
+@register_filter("length")
+def _length(value: Any, arg: Optional[str] = None) -> int:
+    _require_no_arg("length", arg)
+    try:
+        return len(value)
+    except TypeError:
+        return 0
+
+
+@register_filter("default")
+def _default(value: Any, arg: Optional[str] = None) -> Any:
+    if arg is None:
+        raise ValueError("filter 'default' requires an argument")
+    return value if value else arg
+
+
+@register_filter("join")
+def _join(value: Any, arg: Optional[str] = None) -> str:
+    separator = arg if arg is not None else ""
+    return separator.join(str(item) for item in value)
+
+
+@register_filter("first")
+def _first(value: Any, arg: Optional[str] = None) -> Any:
+    _require_no_arg("first", arg)
+    try:
+        return next(iter(value))
+    except StopIteration:
+        return ""
+
+
+@register_filter("truncatewords")
+def _truncatewords(value: Any, arg: Optional[str] = None) -> str:
+    if arg is None:
+        raise ValueError("filter 'truncatewords' requires a word count")
+    try:
+        count = int(arg)
+    except ValueError:
+        raise ValueError(f"truncatewords argument must be an integer, got {arg!r}")
+    words = str(value).split()
+    if len(words) <= count:
+        return " ".join(words)
+    return " ".join(words[:count]) + " ..."
+
+
+@register_filter("truncatechars")
+def _truncatechars(value: Any, arg: Optional[str] = None) -> str:
+    if arg is None:
+        raise ValueError("filter 'truncatechars' requires a character count")
+    count = int(arg)
+    text = str(value)
+    if len(text) <= count:
+        return text
+    return text[: max(0, count - 3)] + "..."
+
+
+@register_filter("floatformat")
+def _floatformat(value: Any, arg: Optional[str] = None) -> str:
+    """Format a number with N decimal places (default 1, Django-style)."""
+    places = 1
+    if arg is not None:
+        try:
+            places = int(arg)
+        except ValueError:
+            raise ValueError(f"floatformat argument must be an integer, got {arg!r}")
+    try:
+        number = float(value)
+    except (TypeError, ValueError):
+        return str(value)
+    return f"{number:.{abs(places)}f}"
+
+
+@register_filter("add")
+def _add(value: Any, arg: Optional[str] = None) -> Any:
+    if arg is None:
+        raise ValueError("filter 'add' requires an argument")
+    try:
+        return int(value) + int(arg)
+    except (TypeError, ValueError):
+        return f"{value}{arg}"
+
+
+@register_filter("safe")
+def _safe(value: Any, arg: Optional[str] = None) -> SafeString:
+    _require_no_arg("safe", arg)
+    return SafeString(value if isinstance(value, str) else str(value))
+
+
+@register_filter("escape")
+def _escape(value: Any, arg: Optional[str] = None) -> SafeString:
+    _require_no_arg("escape", arg)
+    return SafeString(escape_html(str(value)))
+
+
+@register_filter("urlencode")
+def _urlencode(value: Any, arg: Optional[str] = None) -> str:
+    _require_no_arg("urlencode", arg)
+    safe_chars = set(
+        "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789-_.~/"
+    )
+    out = []
+    for byte in str(value).encode("utf-8"):
+        ch = chr(byte)
+        out.append(ch if ch in safe_chars else f"%{byte:02X}")
+    return "".join(out)
+
+
+@register_filter("pluralize")
+def _pluralize(value: Any, arg: Optional[str] = None) -> str:
+    suffix = arg if arg is not None else "s"
+    if "," in suffix:
+        singular, plural = suffix.split(",", 1)
+    else:
+        singular, plural = "", suffix
+    try:
+        count = float(value)
+    except (TypeError, ValueError):
+        try:
+            count = len(value)
+        except TypeError:
+            return singular
+    return singular if count == 1 else plural
+
+
+@register_filter("yesno")
+def _yesno(value: Any, arg: Optional[str] = None) -> str:
+    choices = (arg or "yes,no").split(",")
+    if len(choices) < 2:
+        raise ValueError("filter 'yesno' requires at least 'yes,no'")
+    if value:
+        return choices[0]
+    if value is None and len(choices) > 2:
+        return choices[2]
+    return choices[1]

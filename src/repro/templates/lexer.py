@@ -1,0 +1,94 @@
+"""Template lexer: splits source into text, variable, tag, comment tokens."""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import re
+from typing import Iterator, List
+
+from repro.templates.errors import TemplateSyntaxError
+
+
+class TokenType(enum.Enum):
+    TEXT = "text"
+    VARIABLE = "variable"  # {{ ... }}
+    TAG = "tag"            # {% ... %}
+    COMMENT = "comment"    # {# ... #}
+
+
+@dataclasses.dataclass(frozen=True)
+class Token:
+    type: TokenType
+    content: str
+    line: int
+
+
+_TOKEN_SPLIT_RE = re.compile(r"({{.*?}}|{%.*?%}|{#.*?#})", re.DOTALL)
+_UNCLOSED_RE = re.compile(r"({{|{%|{#)")
+
+_OPENERS = {
+    "{{": ("}}", TokenType.VARIABLE),
+    "{%": ("%}", TokenType.TAG),
+    "{#": ("#}", TokenType.COMMENT),
+}
+
+
+def tokenize(source: str, template_name: str = "<string>") -> List[Token]:
+    """Split template source into a flat token list.
+
+    Line numbers (1-based, counting the token's first character) are
+    attached for error reporting.
+    """
+    tokens: List[Token] = []
+    line = 1
+    for chunk in _TOKEN_SPLIT_RE.split(source):
+        if not chunk:
+            continue
+        opener = chunk[:2]
+        if opener in _OPENERS and chunk.endswith(_OPENERS[opener][0]) and len(chunk) >= 4:
+            token_type = _OPENERS[opener][1]
+            content = chunk[2:-2].strip()
+            if token_type is TokenType.TAG and not content:
+                raise TemplateSyntaxError("empty tag", template_name, line)
+            if token_type is TokenType.VARIABLE and not content:
+                raise TemplateSyntaxError("empty variable tag", template_name, line)
+            tokens.append(Token(token_type, content, line))
+        else:
+            unclosed = _UNCLOSED_RE.search(chunk)
+            if unclosed:
+                raise TemplateSyntaxError(
+                    f"unclosed {unclosed.group(1)!r}",
+                    template_name,
+                    line + chunk[: unclosed.start()].count("\n"),
+                )
+            tokens.append(Token(TokenType.TEXT, chunk, line))
+        line += chunk.count("\n")
+    return tokens
+
+
+def iter_tag_parts(content: str) -> Iterator[str]:
+    """Split a tag's content into space-separated parts, respecting quotes.
+
+    ``include "a b.html"`` yields ``include`` and ``"a b.html"``.
+    """
+    part = ""
+    quote = None
+    for ch in content:
+        if quote:
+            part += ch
+            if ch == quote:
+                quote = None
+        elif ch in "\"'":
+            part += ch
+            quote = ch
+        elif ch.isspace():
+            if part:
+                yield part
+                part = ""
+        else:
+            part += ch
+    if quote:
+        raise TemplateSyntaxError(f"unterminated string in tag: {content!r}")
+    if part:
+        yield part

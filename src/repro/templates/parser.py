@@ -1,0 +1,224 @@
+"""Template parser: token stream → node tree."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.templates.errors import TemplateSyntaxError
+from repro.templates.lexer import Token, TokenType, iter_tag_parts, tokenize
+from repro.templates.nodes import (
+    BlockNode,
+    Condition,
+    ExtendsNode,
+    FilterExpression,
+    ForNode,
+    IfNode,
+    IncludeNode,
+    Node,
+    TextNode,
+    VariableNode,
+    WithNode,
+)
+
+
+class TemplateParser:
+    """Recursive-descent parser over the lexer's token list.
+
+    ``engine`` is needed only to compile ``{% include %}`` nodes, which
+    resolve included templates through the engine's loader at render
+    time (so includes pick up cache updates).
+    """
+
+    def __init__(self, source: str, template_name: str = "<string>", engine=None):
+        self.template_name = template_name
+        self.engine = engine
+        self._tokens = tokenize(source, template_name)
+        self._pos = 0
+
+    def parse(self) -> List[Node]:
+        nodes, terminator = self._parse_until(frozenset())
+        assert terminator is None
+        return nodes
+
+    # ------------------------------------------------------------------
+    def _parse_until(self, stop_tags: frozenset) -> Tuple[List[Node], Optional[Token]]:
+        """Parse nodes until one of ``stop_tags`` (returned) or EOF (None)."""
+        nodes: List[Node] = []
+        while self._pos < len(self._tokens):
+            token = self._tokens[self._pos]
+            self._pos += 1
+            if token.type is TokenType.TEXT:
+                nodes.append(TextNode(token.content))
+            elif token.type is TokenType.COMMENT:
+                continue
+            elif token.type is TokenType.VARIABLE:
+                nodes.append(
+                    VariableNode(FilterExpression(token.content, self.template_name))
+                )
+            else:  # TAG
+                parts = list(iter_tag_parts(token.content))
+                tag = parts[0]
+                if tag in stop_tags:
+                    return nodes, token
+                nodes.append(self._parse_tag(tag, parts, token))
+        if stop_tags:
+            raise TemplateSyntaxError(
+                f"unexpected end of template; expected one of "
+                f"{sorted(stop_tags)}",
+                self.template_name,
+            )
+        return nodes, None
+
+    def _parse_tag(self, tag: str, parts: List[str], token: Token) -> Node:
+        if tag == "for":
+            return self._parse_for(parts, token)
+        if tag == "if":
+            return self._parse_if(parts, token)
+        if tag == "include":
+            return self._parse_include(parts, token)
+        if tag == "with":
+            return self._parse_with(parts, token)
+        if tag == "block":
+            return self._parse_block(parts, token)
+        if tag == "extends":
+            return self._parse_extends(parts, token)
+        if tag == "comment":
+            self._parse_until(frozenset({"endcomment"}))
+            return TextNode("")
+        raise TemplateSyntaxError(
+            f"unknown tag {tag!r}", self.template_name, token.line
+        )
+
+    def _parse_block(self, parts: List[str], token: Token) -> BlockNode:
+        if len(parts) != 2 or not parts[1].isidentifier():
+            raise TemplateSyntaxError(
+                "{% block %} takes exactly one name",
+                self.template_name,
+                token.line,
+            )
+        body, _ = self._parse_until(frozenset({"endblock"}))
+        return BlockNode(parts[1], body)
+
+    def _parse_extends(self, parts: List[str], token: Token) -> ExtendsNode:
+        if len(parts) != 2:
+            raise TemplateSyntaxError(
+                "{% extends %} takes exactly one argument",
+                self.template_name,
+                token.line,
+            )
+        if self.engine is None:
+            raise TemplateSyntaxError(
+                "{% extends %} requires an engine-loaded template",
+                self.template_name,
+                token.line,
+            )
+        # Consume the remainder of the template, keeping only blocks.
+        rest, _ = self._parse_until(frozenset())
+        blocks = {}
+        for node in rest:
+            if isinstance(node, BlockNode):
+                if node.name in blocks:
+                    raise TemplateSyntaxError(
+                        f"duplicate block {node.name!r} in child template",
+                        self.template_name,
+                        token.line,
+                    )
+                blocks[node.name] = node.body
+        return ExtendsNode(
+            FilterExpression(parts[1], self.template_name), blocks, self.engine
+        )
+
+    def _parse_for(self, parts: List[str], token: Token) -> ForNode:
+        # {% for a[, b, ...] in iterable %}
+        if "in" not in parts:
+            raise TemplateSyntaxError(
+                "malformed {% for %}: missing 'in'", self.template_name, token.line
+            )
+        in_index = len(parts) - 1 - parts[::-1].index("in")
+        raw_vars = parts[1:in_index]
+        iterable_parts = parts[in_index + 1:]
+        if not raw_vars or len(iterable_parts) != 1:
+            raise TemplateSyntaxError(
+                f"malformed {{% for %}}: {' '.join(parts)!r}",
+                self.template_name,
+                token.line,
+            )
+        loop_vars: List[str] = []
+        for raw in raw_vars:
+            loop_vars.extend(v for v in raw.split(",") if v)
+        for var in loop_vars:
+            if not var.isidentifier():
+                raise TemplateSyntaxError(
+                    f"invalid loop variable {var!r}", self.template_name, token.line
+                )
+        iterable = FilterExpression(iterable_parts[0], self.template_name)
+        body, terminator = self._parse_until(frozenset({"empty", "endfor"}))
+        empty_body: List[Node] = []
+        if terminator is not None and terminator.content.strip() == "empty":
+            empty_body, terminator = self._parse_until(frozenset({"endfor"}))
+        return ForNode(loop_vars, iterable, body, empty_body)
+
+    def _parse_if(self, parts: List[str], token: Token) -> IfNode:
+        branches = []
+        condition = Condition(parts[1:], self.template_name)
+        stop = frozenset({"elif", "else", "endif"})
+        body, terminator = self._parse_until(stop)
+        branches.append((condition, body))
+        while terminator is not None:
+            terminator_parts = list(iter_tag_parts(terminator.content))
+            kind = terminator_parts[0]
+            if kind == "endif":
+                return IfNode(branches)
+            if kind == "elif":
+                condition = Condition(terminator_parts[1:], self.template_name)
+                body, terminator = self._parse_until(stop)
+                branches.append((condition, body))
+            else:  # else
+                else_body, terminator = self._parse_until(frozenset({"endif"}))
+                return IfNode(branches, else_body)
+        raise TemplateSyntaxError(  # pragma: no cover - _parse_until raises first
+            "missing {% endif %}", self.template_name, token.line
+        )
+
+    def _parse_include(self, parts: List[str], token: Token) -> IncludeNode:
+        if len(parts) != 2:
+            raise TemplateSyntaxError(
+                "{% include %} takes exactly one argument",
+                self.template_name,
+                token.line,
+            )
+        if self.engine is None:
+            raise TemplateSyntaxError(
+                "{% include %} requires an engine-loaded template",
+                self.template_name,
+                token.line,
+            )
+        return IncludeNode(
+            FilterExpression(parts[1], self.template_name), self.engine
+        )
+
+    def _parse_with(self, parts: List[str], token: Token) -> WithNode:
+        if len(parts) < 2:
+            raise TemplateSyntaxError(
+                "{% with %} requires at least one name=value binding",
+                self.template_name,
+                token.line,
+            )
+        bindings = []
+        for part in parts[1:]:
+            if "=" not in part:
+                raise TemplateSyntaxError(
+                    f"malformed {{% with %}} binding {part!r}",
+                    self.template_name,
+                    token.line,
+                )
+            name, raw_expr = part.split("=", 1)
+            if not name.isidentifier():
+                raise TemplateSyntaxError(
+                    f"invalid {{% with %}} name {name!r}",
+                    self.template_name,
+                    token.line,
+                )
+            bindings.append((name, FilterExpression(raw_expr, self.template_name)))
+        body, _ = self._parse_until(frozenset({"endwith"}))
+        return WithNode(bindings, body)

@@ -1,0 +1,40 @@
+"""TPC-W: the transactional web e-commerce benchmark, in Django style.
+
+The paper implemented TPC-W from scratch with CherryPy handlers and
+Django templates (455 lines of Python, 704 of template code) because
+existing implementations all mixed data generation with presentation.
+This package is that implementation rebuilt on our substrates:
+
+- :mod:`repro.tpcw.schema` — the online-bookstore schema.
+- :mod:`repro.tpcw.population` — scaled database population (the paper
+  used 1M books / 2.88M customers / 2.59M orders on a dedicated
+  server; we default to a laptop-scale 1/1000 population and keep the
+  same ratios).
+- :mod:`repro.tpcw.app` — the 14 web interactions as handlers that
+  return ``("template.html", data)`` (the paper's one-line-per-page
+  modification; exactly 14 such return statements).
+- :mod:`repro.tpcw.templates_source` — the Django-syntax templates.
+- :mod:`repro.tpcw.mix` — the browsing-mix page distribution.
+- :mod:`repro.tpcw.emulator` — emulated browsers driving a live server
+  over HTTP with the standard 0.7–7 s think time.
+- :mod:`repro.tpcw.profile` — measures per-page service demands from
+  the real implementation, feeding the discrete-event simulator.
+"""
+
+from repro.tpcw.app import PAGES, TPCWApplication, build_tpcw_app
+from repro.tpcw.mix import BROWSING_MIX, PAPER_PAGE_NAMES, BrowsingMix
+from repro.tpcw.population import PopulationScale, populate
+from repro.tpcw.schema import TPCW_SCHEMA, create_schema
+
+__all__ = [
+    "PAGES",
+    "TPCWApplication",
+    "build_tpcw_app",
+    "BROWSING_MIX",
+    "PAPER_PAGE_NAMES",
+    "BrowsingMix",
+    "PopulationScale",
+    "populate",
+    "TPCW_SCHEMA",
+    "create_schema",
+]

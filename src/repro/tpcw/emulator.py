@@ -1,0 +1,178 @@
+"""Emulated browsers driving a *live* server over real HTTP.
+
+This is the workload-generator side of the paper's testbed (Figure 6):
+each emulated browser (EB) runs on its own thread, issues one web
+interaction, fetches the page's embedded images, records the web
+interaction response time client-side ("from the first byte of a web
+interaction request sent out by a client to the last byte of the web
+interaction response received by the client"), then thinks for the
+standard 0.7–7 s (scalable for short test runs) and repeats.
+
+Used by the integration tests and the live-server example; the
+paper-scale 400-EB hour-long runs use the simulator instead.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from typing import Dict, List, Optional, Tuple
+
+from repro.http.client import http_request
+from repro.tpcw.mix import BrowsingMix
+from repro.util.rng import RandomStream
+from repro.util.timeseries import WelfordAccumulator
+
+_SC_ID_RE = re.compile(r'name="sc_id" value="(\d+)"')
+_IMG_RE = re.compile(r'<img src="(/img/[^"]+)"')
+
+
+def encode_params(params: Dict[str, str]) -> str:
+    """Build a query string (simple encoding; TPC-W values are tame)."""
+    if not params:
+        return ""
+    pairs = []
+    for key, value in params.items():
+        encoded = str(value).replace("%", "%25").replace("&", "%26")
+        encoded = encoded.replace(" ", "+").replace("=", "%3D")
+        pairs.append(f"{key}={encoded}")
+    return "?" + "&".join(pairs)
+
+
+class EmulatedBrowser(threading.Thread):
+    """One TPC-W emulated browser session against a live server."""
+
+    def __init__(self, host: str, port: int, mix: BrowsingMix,
+                 stop_event: threading.Event,
+                 think_scale: float = 1.0,
+                 max_images: int = 4,
+                 timeout: float = 60.0):
+        super().__init__(daemon=True)
+        self.host = host
+        self.port = port
+        self.mix = mix
+        self.stop_event = stop_event
+        self.think_scale = think_scale
+        self.max_images = max_images
+        self.timeout = timeout
+        self.response_times: Dict[str, WelfordAccumulator] = {}
+        self.completions: Dict[str, int] = {}
+        self.errors: List[str] = []
+        self.image_cache: Dict[str, str] = {}  # url -> etag
+        self.images_not_modified = 0
+        self._clock = __import__("time").monotonic
+
+    # ------------------------------------------------------------------
+    def run(self) -> None:
+        while not self.stop_event.is_set():
+            path, params = self.mix.next_interaction()
+            try:
+                self._interact(path, params)
+            except OSError as exc:
+                self.errors.append(f"{path}: {exc}")
+                if self.stop_event.is_set():
+                    return
+            think = self.mix.think_time() * self.think_scale
+            if self.stop_event.wait(timeout=think):
+                return
+
+    def _interact(self, path: str, params: Dict[str, str]) -> None:
+        started = self._clock()
+        response = http_request(
+            self.host, self.port, path + encode_params(params),
+            timeout=self.timeout,
+        )
+        images = _IMG_RE.findall(response.text)[: self.max_images]
+        for image in images:
+            # Conditional GET: revalidate cached images like a browser.
+            headers = {}
+            cached_etag = self.image_cache.get(image)
+            if cached_etag:
+                headers["If-None-Match"] = cached_etag
+            image_response = http_request(
+                self.host, self.port, image, headers=headers,
+                timeout=self.timeout,
+            )
+            if image_response.status == 304:
+                self.images_not_modified += 1
+            elif "etag" in image_response.headers:
+                self.image_cache[image] = image_response.headers["etag"]
+        elapsed = self._clock() - started
+        if response.status != 200:
+            self.errors.append(f"{path}: HTTP {response.status}")
+            return
+        match = _SC_ID_RE.search(response.text)
+        if match:
+            self.mix.note_cart(int(match.group(1)))
+        accumulator = self.response_times.get(path)
+        if accumulator is None:
+            accumulator = WelfordAccumulator(path)
+            self.response_times[path] = accumulator
+        accumulator.add(elapsed)
+        self.completions[path] = self.completions.get(path, 0) + 1
+
+
+class BrowserFleet:
+    """A population of EBs with pooled client-side statistics."""
+
+    def __init__(self, host: str, port: int, clients: int,
+                 customers: int, items: int, seed: int = 2009,
+                 think_scale: float = 1.0, max_images: int = 4,
+                 mix_weights: Optional[Dict[str, float]] = None):
+        if clients < 1:
+            raise ValueError("clients must be >= 1")
+        self.stop_event = threading.Event()
+        self.browsers = [
+            EmulatedBrowser(
+                host, port,
+                BrowsingMix(
+                    RandomStream(seed, f"eb-{i}"),
+                    customers=customers, items=items, weights=mix_weights,
+                ),
+                self.stop_event,
+                think_scale=think_scale,
+                max_images=max_images,
+            )
+            for i in range(clients)
+        ]
+
+    def run_for(self, seconds: float) -> None:
+        """Run the whole fleet for a fixed duration, then stop."""
+        for browser in self.browsers:
+            browser.start()
+        self.stop_event.wait(timeout=seconds)
+        self.stop()
+
+    def stop(self) -> None:
+        self.stop_event.set()
+        for browser in self.browsers:
+            browser.join(timeout=30.0)
+
+    # ------------------------------------------------------------------
+    def completions(self) -> Dict[str, int]:
+        merged: Dict[str, int] = {}
+        for browser in self.browsers:
+            for path, count in browser.completions.items():
+                merged[path] = merged.get(path, 0) + count
+        return merged
+
+    def total_completions(self) -> int:
+        return sum(self.completions().values())
+
+    def mean_response_times(self) -> Dict[str, float]:
+        sums: Dict[str, Tuple[float, int]] = {}
+        for browser in self.browsers:
+            for path, acc in browser.response_times.items():
+                if acc.count == 0:
+                    continue
+                total, count = sums.get(path, (0.0, 0))
+                sums[path] = (total + acc.mean * acc.count, count + acc.count)
+        return {
+            path: total / count for path, (total, count) in sums.items()
+        }
+
+    def errors(self) -> List[str]:
+        merged: List[str] = []
+        for browser in self.browsers:
+            merged.extend(browser.errors)
+        return merged

@@ -1,0 +1,174 @@
+"""The TPC-W browsing mix and session parameter generation.
+
+The paper runs "the standard 'browsing mix' workload".  TPC-W defines
+the mix via a 14x14 state transition matrix; what the evaluation
+consumes is the resulting stationary page distribution, which the
+paper's own Table 4 exhibits directly (unmodified-server completion
+counts).  We therefore sample pages from that stationary distribution
+while maintaining the session state (customer id, shopping-cart id)
+that gives each page meaningful parameters.  This substitution keeps
+the per-page arrival ratios — the quantity the queueing behaviour
+depends on — identical to the paper's.
+
+``BrowsingMix.next_interaction`` yields ``(path, params)`` pairs ready
+to become query strings.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.tpcw.names import SUBJECTS, user_name
+from repro.util.rng import RandomStream
+
+#: Paper page names (Table 3/Table 4 row labels) keyed by route path.
+PAPER_PAGE_NAMES: Dict[str, str] = {
+    "/admin_request": "TPC-W admin request",
+    "/admin_response": "TPC-W admin response",
+    "/best_sellers": "TPC-W best sellers",
+    "/buy_confirm": "TPC-W buy confirm",
+    "/buy_request": "TPC-W buy request",
+    "/customer_registration": "TPC-W customer registration",
+    "/execute_search": "TPC-W execute search",
+    "/home": "TPC-W home interaction",
+    "/new_products": "TPC-W new products",
+    "/order_display": "TPC-W order display",
+    "/order_inquiry": "TPC-W order inquiry",
+    "/product_detail": "TPC-W product detail",
+    "/search_request": "TPC-W search request",
+    "/shopping_cart": "TPC-W shopping cart interaction",
+}
+
+#: Stationary browsing-mix weights, taken from the paper's Table 4
+#: unmodified-server completion counts (our ground truth for the mix
+#: actually measured).  Relative weights; absolute scale irrelevant.
+BROWSING_MIX: Dict[str, float] = {
+    "/home": 19586,
+    "/product_detail": 14002,
+    "/search_request": 7994,
+    "/best_sellers": 7602,
+    "/new_products": 7406,
+    "/execute_search": 7307,
+    "/shopping_cart": 1173,
+    "/customer_registration": 469,
+    "/buy_request": 429,
+    "/buy_confirm": 395,
+    "/order_inquiry": 219,
+    "/order_display": 184,
+    "/admin_request": 74,
+    "/admin_response": 71,
+}
+
+#: Standard TPC-W think time bounds (seconds), as used in the paper.
+THINK_TIME_RANGE = (0.7, 7.0)
+
+
+class BrowsingMix:
+    """Samples interactions for one emulated browser session.
+
+    Parameters
+    ----------
+    rng:
+        The browser's private random stream.
+    customers, items:
+        Population sizes, for drawing valid ids.
+    weights:
+        Page weights; defaults to :data:`BROWSING_MIX`.
+    """
+
+    def __init__(self, rng: RandomStream, customers: int, items: int,
+                 weights: Optional[Dict[str, float]] = None):
+        if customers < 1 or items < 1:
+            raise ValueError("customers and items must be >= 1")
+        self.rng = rng
+        self.customers = customers
+        self.items = items
+        mix = dict(BROWSING_MIX) if weights is None else dict(weights)
+        self._paths: List[str] = sorted(mix)
+        self._weights: List[float] = [mix[path] for path in self._paths]
+        # Session state
+        self.customer_id = rng.randint(1, customers)
+        self.cart_id = 0
+        self.last_added_item = 0
+
+    # ------------------------------------------------------------------
+    def _random_item(self) -> int:
+        return self.rng.randint(1, self.items)
+
+    def _random_subject(self) -> str:
+        return self.rng.choice(SUBJECTS)
+
+    def _search_params(self) -> Dict[str, str]:
+        search_type = self.rng.weighted_choice(
+            ["author", "title", "subject"], [0.35, 0.35, 0.30]
+        )
+        if search_type == "subject":
+            return {"search_type": search_type,
+                    "search_string": self._random_subject()}
+        if search_type == "author":
+            # Surnames exist in the population by construction.
+            return {"search_type": search_type, "search_string": "S"}
+        return {"search_type": search_type, "search_string": "the"}
+
+    def next_interaction(self) -> Tuple[str, Dict[str, str]]:
+        """Sample the next (path, params) pair for this session."""
+        path = self.rng.weighted_choice(self._paths, self._weights)
+        return path, self.params_for(path)
+
+    def params_for(self, path: str) -> Dict[str, str]:
+        """Session-consistent parameters for a given page."""
+        if path == "/home":
+            return {"c_id": str(self.customer_id),
+                    "i_id": str(self._random_item())}
+        if path == "/product_detail":
+            return {"i_id": str(self._random_item())}
+        if path == "/search_request":
+            return {}
+        if path == "/execute_search":
+            return self._search_params()
+        if path == "/new_products":
+            return {"subject": self._random_subject()}
+        if path == "/best_sellers":
+            return {"subject": self._random_subject()}
+        if path == "/shopping_cart":
+            item = self._random_item()
+            self.last_added_item = item
+            return {
+                "sc_id": str(self.cart_id),
+                "i_id": str(item),
+                "qty": str(self.rng.randint(1, 3)),
+            }
+        if path == "/customer_registration":
+            return {"sc_id": str(self.cart_id),
+                    "uname": user_name(self.customer_id)}
+        if path == "/buy_request":
+            return {"sc_id": str(self.cart_id),
+                    "uname": user_name(self.customer_id)}
+        if path == "/buy_confirm":
+            return {"sc_id": str(self.cart_id),
+                    "c_id": str(self.customer_id)}
+        if path == "/order_inquiry":
+            return {}
+        if path == "/order_display":
+            return {"uname": user_name(self.customer_id)}
+        if path == "/admin_request":
+            return {"i_id": str(self._random_item())}
+        if path == "/admin_response":
+            return {"i_id": str(self._random_item())}
+        raise ValueError(f"unknown TPC-W page {path!r}")
+
+    def note_cart(self, cart_id: int) -> None:
+        """Record the cart id returned by a shopping-cart interaction."""
+        if cart_id > 0:
+            self.cart_id = cart_id
+
+    def think_time(self) -> float:
+        """Standard TPC-W think time, 0.7 to 7 seconds."""
+        return self.rng.think_time(*THINK_TIME_RANGE)
+
+
+def normalized_mix(weights: Optional[Dict[str, float]] = None) -> Dict[str, float]:
+    """The mix as probabilities summing to 1."""
+    mix = dict(BROWSING_MIX) if weights is None else dict(weights)
+    total = sum(mix.values())
+    return {path: weight / total for path, weight in mix.items()}

@@ -1,0 +1,151 @@
+"""The TPC-W online bookstore schema.
+
+Faithful to the TPC-W specification's eight tables (plus the two
+shopping-cart tables), trimmed to the columns the 14 interactions
+touch.  Index choices drive the paper's fast/slow dichotomy:
+
+- Primary keys and foreign-key columns used by the quick pages are
+  indexed, so home / product detail / order display / cart pages are
+  index probes.
+- ``item.i_subject``, ``item.i_title``, ``author.a_lname``, and
+  ``item.i_pub_date`` are deliberately *unindexed*: new-products,
+  execute-search, and best-sellers therefore scan and sort, exactly the
+  "large and very complex queries" the paper identifies as the three
+  inherently slow pages.  (The paper §4.2.1 notes adding indexes would
+  mitigate them but "would change the TPC-W benchmark itself".)
+"""
+
+from __future__ import annotations
+
+from repro.db.engine import Database
+
+TPCW_SCHEMA = """
+CREATE TABLE country (
+    co_id INT PRIMARY KEY,
+    co_name VARCHAR(50) NOT NULL,
+    co_currency VARCHAR(18),
+    co_exchange DOUBLE
+);
+
+CREATE TABLE address (
+    addr_id INT PRIMARY KEY AUTO_INCREMENT,
+    addr_street1 VARCHAR(40),
+    addr_street2 VARCHAR(40),
+    addr_city VARCHAR(30),
+    addr_state VARCHAR(20),
+    addr_zip VARCHAR(10),
+    addr_co_id INT
+);
+
+CREATE TABLE customer (
+    c_id INT PRIMARY KEY AUTO_INCREMENT,
+    c_uname VARCHAR(20) NOT NULL,
+    c_passwd VARCHAR(20) NOT NULL,
+    c_fname VARCHAR(17),
+    c_lname VARCHAR(17),
+    c_addr_id INT,
+    c_phone VARCHAR(18),
+    c_email VARCHAR(50),
+    c_since DATE,
+    c_last_login DATE,
+    c_discount DOUBLE,
+    c_balance DOUBLE,
+    c_ytd_pmt DOUBLE,
+    c_birthdate DATE,
+    c_data TEXT
+);
+
+CREATE TABLE author (
+    a_id INT PRIMARY KEY AUTO_INCREMENT,
+    a_fname VARCHAR(20),
+    a_lname VARCHAR(20),
+    a_mname VARCHAR(20),
+    a_dob DATE,
+    a_bio TEXT
+);
+
+CREATE TABLE item (
+    i_id INT PRIMARY KEY AUTO_INCREMENT,
+    i_title VARCHAR(60),
+    i_a_id INT,
+    i_pub_date DATE,
+    i_publisher VARCHAR(60),
+    i_subject VARCHAR(60),
+    i_desc TEXT,
+    i_related1 INT,
+    i_related2 INT,
+    i_related3 INT,
+    i_related4 INT,
+    i_related5 INT,
+    i_thumbnail VARCHAR(40),
+    i_image VARCHAR(40),
+    i_srp DOUBLE,
+    i_cost DOUBLE,
+    i_avail DATE,
+    i_stock INT,
+    i_isbn CHAR(13),
+    i_page INT,
+    i_backing VARCHAR(15),
+    i_dimensions VARCHAR(25)
+);
+
+CREATE TABLE orders (
+    o_id INT PRIMARY KEY AUTO_INCREMENT,
+    o_c_id INT,
+    o_date DATE,
+    o_sub_total DOUBLE,
+    o_tax DOUBLE,
+    o_total DOUBLE,
+    o_ship_type VARCHAR(10),
+    o_ship_date DATE,
+    o_bill_addr_id INT,
+    o_ship_addr_id INT,
+    o_status VARCHAR(16)
+);
+
+CREATE TABLE order_line (
+    ol_id INT PRIMARY KEY AUTO_INCREMENT,
+    ol_o_id INT NOT NULL,
+    ol_i_id INT NOT NULL,
+    ol_qty INT,
+    ol_discount DOUBLE,
+    ol_comments VARCHAR(110)
+);
+
+CREATE TABLE cc_xacts (
+    cx_id INT PRIMARY KEY AUTO_INCREMENT,
+    cx_o_id INT NOT NULL,
+    cx_type VARCHAR(10),
+    cx_num VARCHAR(20),
+    cx_name VARCHAR(30),
+    cx_expire DATE,
+    cx_auth_id CHAR(15),
+    cx_xact_amt DOUBLE,
+    cx_xact_date DATE,
+    cx_co_id INT
+);
+
+CREATE TABLE shopping_cart (
+    sc_id INT PRIMARY KEY AUTO_INCREMENT,
+    sc_time DATE
+);
+
+CREATE TABLE shopping_cart_line (
+    scl_id INT PRIMARY KEY AUTO_INCREMENT,
+    scl_sc_id INT NOT NULL,
+    scl_i_id INT NOT NULL,
+    scl_qty INT
+);
+
+CREATE INDEX idx_customer_uname ON customer (c_uname);
+CREATE INDEX idx_item_author ON item (i_a_id);
+CREATE INDEX idx_orders_customer ON orders (o_c_id);
+CREATE INDEX idx_order_line_order ON order_line (ol_o_id);
+CREATE INDEX idx_cc_xacts_order ON cc_xacts (cx_o_id);
+CREATE INDEX idx_scl_cart ON shopping_cart_line (scl_sc_id);
+"""
+
+
+def create_schema(database: Database) -> None:
+    """Create all TPC-W tables and indexes in ``database``."""
+    database.executescript(TPCW_SCHEMA)

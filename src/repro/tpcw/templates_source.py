@@ -1,0 +1,329 @@
+"""The TPC-W presentation templates (Django syntax, in-memory).
+
+One template per dynamic page, mostly plain HTML with a handful of
+tags, mirroring the paper's description ("704 lines of template code,
+most of which is pure HTML").  The pages share a ``base.html`` through
+``{% extends %}``/``{% block %}`` — the standard Django layout idiom —
+and handlers never touch any of this: the separation of content from
+presentation the paper builds on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+TEMPLATES: Dict[str, str] = {}
+
+TEMPLATES["base.html"] = """\
+<html>
+<head><title>TPC-W {% block page_title %}{{ page_title }}{% endblock %}</title></head>
+<body>
+<table width="100%"><tr>
+  <td><a href="/home"><img src="/img/tpclogo.gif" alt="TPC-W"></a></td>
+  <td align="center"><h1>The TPC-W Online Bookstore</h1></td>
+  <td align="right">
+    <a href="/shopping_cart?sc_id={{ sc_id|default:0 }}"><img src="/img/cart.gif" alt="Cart"></a>
+    <a href="/search_request"><img src="/img/search.gif" alt="Search"></a>
+  </td>
+</tr></table>
+<hr>
+{% block content %}
+<p>Welcome to the TPC-W bookstore.</p>
+{% endblock %}
+<hr>
+<p align="center">
+  <a href="/home">Home</a> |
+  <a href="/new_products?subject=ARTS">New Products</a> |
+  <a href="/best_sellers?subject=ARTS">Best Sellers</a> |
+  <a href="/order_inquiry">Order Status</a>
+</p>
+</body>
+</html>
+"""
+
+TEMPLATES["item_row.html"] = """\
+<tr>
+  <td><a href="/product_detail?i_id={{ item.i_id }}"><img src="{{ item.thumbnail }}" alt=""></a></td>
+  <td><a href="/product_detail?i_id={{ item.i_id }}">{{ item.title }}</a></td>
+  <td>{{ item.author }}</td>
+  <td align="right">${{ item.cost|floatformat:2 }}</td>
+</tr>
+"""
+
+TEMPLATES["home.html"] = """\
+{% extends "base.html" %}
+{% block content %}
+{% if customer %}
+<h2>Welcome back, {{ customer.fname }} {{ customer.lname }}!</h2>
+{% else %}
+<h2>Welcome to the TPC-W Bookstore</h2>
+{% endif %}
+<h3>Today's featured books</h3>
+<table>
+{% for item in promotions %}
+{% include "item_row.html" %}
+{% endfor %}
+</table>
+<h3>Browse by subject</h3>
+<ul>
+{% for subject in subjects %}
+  <li><a href="/new_products?subject={{ subject|urlencode }}">{{ subject|capfirst }}</a></li>
+{% endfor %}
+</ul>
+{% endblock %}
+"""
+
+TEMPLATES["product_detail.html"] = """\
+{% extends "base.html" %}
+{% block content %}
+<h2>{{ item.i_title }}</h2>
+<table><tr>
+<td><img src="{{ item.i_image }}" alt="cover"></td>
+<td>
+<p>by {{ author.a_fname }} {{ author.a_lname }}</p>
+<p>Subject: {{ item.i_subject }} &middot; Publisher: {{ item.i_publisher }}
+ &middot; Published {{ item.i_pub_date }}</p>
+<p>{{ item.i_desc }}</p>
+<p>ISBN: {{ item.i_isbn }} &middot; {{ item.i_page }} pages &middot;
+ {{ item.i_backing }} &middot; {{ item.i_dimensions }}</p>
+<p>List price: <s>${{ item.i_srp|floatformat:2 }}</s>
+ Our price: <b>${{ item.i_cost|floatformat:2 }}</b></p>
+<p>{% if item.i_stock > 0 %}In stock ({{ item.i_stock }} available){% else %}Backordered{% endif %}</p>
+<form action="/shopping_cart" method="get">
+  <input type="hidden" name="i_id" value="{{ item.i_id }}">
+  <input type="hidden" name="sc_id" value="{{ sc_id|default:0 }}">
+  <input type="submit" value="Add to cart">
+</form>
+</td>
+</tr></table>
+{% endblock %}
+"""
+
+TEMPLATES["search_request.html"] = """\
+{% extends "base.html" %}
+{% block content %}
+<h2>Search the store</h2>
+<form action="/execute_search" method="get">
+  <select name="search_type">
+    <option value="author">Author</option>
+    <option value="title">Title</option>
+    <option value="subject">Subject</option>
+  </select>
+  <input type="text" name="search_string">
+  <input type="submit" value="Search">
+</form>
+<h3>Subjects</h3>
+<ul>
+{% for subject in subjects %}
+  <li><a href="/execute_search?search_type=subject&amp;search_string={{ subject|urlencode }}">{{ subject|capfirst }}</a></li>
+{% endfor %}
+</ul>
+{% endblock %}
+"""
+
+TEMPLATES["execute_search.html"] = """\
+{% extends "base.html" %}
+{% block content %}
+<h2>Search results for {{ search_type }} "{{ search_string }}"</h2>
+{% if results %}
+<table>
+{% for item in results %}
+{% include "item_row.html" %}
+{% endfor %}
+</table>
+{% else %}
+<p>No items matched your search.</p>
+{% endif %}
+{% endblock %}
+"""
+
+TEMPLATES["new_products.html"] = """\
+{% extends "base.html" %}
+{% block content %}
+<h2>New releases in {{ subject|capfirst }}</h2>
+<table>
+{% for item in items %}
+<tr>
+  <td><a href="/product_detail?i_id={{ item.i_id }}"><img src="{{ item.thumbnail }}" alt=""></a></td>
+  <td><a href="/product_detail?i_id={{ item.i_id }}">{{ item.title }}</a></td>
+  <td>{{ item.author }}</td>
+  <td>{{ item.pub_date }}</td>
+  <td align="right">${{ item.cost|floatformat:2 }}</td>
+</tr>
+{% empty %}
+<tr><td>No new products in this subject.</td></tr>
+{% endfor %}
+</table>
+{% endblock %}
+"""
+
+TEMPLATES["best_sellers.html"] = """\
+{% extends "base.html" %}
+{% block content %}
+<h2>Best sellers in {{ subject|capfirst }}</h2>
+<ol>
+{% for item in items %}
+  <li>
+    <a href="/product_detail?i_id={{ item.i_id }}">{{ item.title }}</a>
+    by {{ item.author }} &mdash; {{ item.sold }} sold
+  </li>
+{% empty %}
+  <li>No sales recorded in this subject.</li>
+{% endfor %}
+</ol>
+{% endblock %}
+"""
+
+TEMPLATES["shopping_cart.html"] = """\
+{% extends "base.html" %}
+{% block content %}
+<h2>Your shopping cart</h2>
+<table>
+<tr><th></th><th>Title</th><th>Qty</th><th>Price</th><th>Total</th></tr>
+{% for line in lines %}
+<tr>
+  <td><img src="{{ line.thumbnail }}" alt=""></td>
+  <td><a href="/product_detail?i_id={{ line.i_id }}">{{ line.title }}</a></td>
+  <td>{{ line.qty }}</td>
+  <td align="right">${{ line.cost|floatformat:2 }}</td>
+  <td align="right">${{ line.total|floatformat:2 }}</td>
+</tr>
+{% empty %}
+<tr><td colspan="5">Your cart is empty.</td></tr>
+{% endfor %}
+</table>
+<p>Subtotal: <b>${{ subtotal|floatformat:2 }}</b></p>
+<form action="/customer_registration" method="get">
+  <input type="hidden" name="sc_id" value="{{ sc_id }}">
+  <input type="submit" value="Checkout">
+</form>
+{% endblock %}
+"""
+
+TEMPLATES["customer_registration.html"] = """\
+{% extends "base.html" %}
+{% block content %}
+<h2>Customer information</h2>
+<form action="/buy_request" method="get">
+<input type="hidden" name="sc_id" value="{{ sc_id }}">
+{% if customer %}
+<p>Welcome back, {{ customer.fname }}! Please confirm your password.</p>
+<input type="hidden" name="uname" value="{{ customer.uname }}">
+Password: <input type="password" name="passwd">
+{% else %}
+<p>Returning customer?</p>
+Username: <input type="text" name="uname">
+Password: <input type="password" name="passwd">
+<p>Or register as a new customer:</p>
+First name: <input type="text" name="fname">
+Last name: <input type="text" name="lname">
+{% endif %}
+<input type="submit" value="Continue">
+</form>
+{% endblock %}
+"""
+
+TEMPLATES["buy_request.html"] = """\
+{% extends "base.html" %}
+{% block content %}
+<h2>Confirm your order</h2>
+<p>Billing to: {{ customer.fname }} {{ customer.lname }},
+ {{ address.street1 }}, {{ address.city }}, {{ address.state }}
+ {{ address.zip }}, {{ address.country }}</p>
+<table>
+{% for line in lines %}
+<tr>
+  <td>{{ line.title }}</td><td>x{{ line.qty }}</td>
+  <td align="right">${{ line.total|floatformat:2 }}</td>
+</tr>
+{% endfor %}
+</table>
+<p>Subtotal ${{ subtotal|floatformat:2 }} &middot; Tax ${{ tax|floatformat:2 }}
+ &middot; Total <b>${{ total|floatformat:2 }}</b></p>
+<form action="/buy_confirm" method="get">
+  <input type="hidden" name="sc_id" value="{{ sc_id }}">
+  <input type="hidden" name="c_id" value="{{ customer.c_id }}">
+  <input type="submit" value="Buy">
+</form>
+{% endblock %}
+"""
+
+TEMPLATES["buy_confirm.html"] = """\
+{% extends "base.html" %}
+{% block content %}
+<h2>Thank you for your order!</h2>
+<p>Order number <b>{{ o_id }}</b> has been placed.</p>
+<table>
+{% for line in lines %}
+<tr><td>{{ line.title }}</td><td>x{{ line.qty }}</td>
+    <td align="right">${{ line.total|floatformat:2 }}</td></tr>
+{% endfor %}
+</table>
+<p>Subtotal ${{ subtotal|floatformat:2 }} &middot; Tax ${{ tax|floatformat:2 }}
+ &middot; Total <b>${{ total|floatformat:2 }}</b></p>
+<p>Your books will ship via {{ ship_type }}.</p>
+{% endblock %}
+"""
+
+TEMPLATES["order_inquiry.html"] = """\
+{% extends "base.html" %}
+{% block content %}
+<h2>Order status</h2>
+<form action="/order_display" method="get">
+  Username: <input type="text" name="uname">
+  Password: <input type="password" name="passwd">
+  <input type="submit" value="Display last order">
+</form>
+{% endblock %}
+"""
+
+TEMPLATES["order_display.html"] = """\
+{% extends "base.html" %}
+{% block content %}
+{% if order %}
+<h2>Order {{ order.o_id }} &mdash; {{ order.o_status }}</h2>
+<p>Placed {{ order.o_date }} by {{ customer.fname }} {{ customer.lname }},
+ ship {{ order.o_ship_type }} on {{ order.o_ship_date }}.</p>
+<table>
+{% for line in lines %}
+<tr><td>{{ line.title }}</td><td>x{{ line.qty }}</td>
+    <td align="right">${{ line.cost|floatformat:2 }}</td></tr>
+{% endfor %}
+</table>
+<p>Subtotal ${{ order.o_sub_total|floatformat:2 }} &middot;
+ Tax ${{ order.o_tax|floatformat:2 }} &middot;
+ Total <b>${{ order.o_total|floatformat:2 }}</b></p>
+{% else %}
+<h2>No orders found</h2>
+<p>We have no orders on file for that customer.</p>
+{% endif %}
+{% endblock %}
+"""
+
+TEMPLATES["admin_request.html"] = """\
+{% extends "base.html" %}
+{% block content %}
+<h2>Item administration: {{ item.i_title }}</h2>
+<form action="/admin_response" method="get">
+  <input type="hidden" name="i_id" value="{{ item.i_id }}">
+  New image: <input type="text" name="image" value="{{ item.i_image }}">
+  New thumbnail: <input type="text" name="thumbnail" value="{{ item.i_thumbnail }}">
+  New cost: <input type="text" name="cost" value="{{ item.i_cost }}">
+  <input type="submit" value="Update item">
+</form>
+{% endblock %}
+"""
+
+TEMPLATES["admin_response.html"] = """\
+{% extends "base.html" %}
+{% block content %}
+<h2>Item {{ item.i_id }} updated</h2>
+<p>{{ item.i_title }} now costs ${{ item.i_cost|floatformat:2 }}.</p>
+<p>Related items recomputed from recent sales:</p>
+<ol>
+{% for related in related_items %}
+  <li><a href="/product_detail?i_id={{ related.i_id }}">{{ related.title }}</a></li>
+{% endfor %}
+</ol>
+{% endblock %}
+"""

@@ -1,0 +1,66 @@
+"""Clock abstraction shared by the real server and the simulator.
+
+The scheduling policy in :mod:`repro.core` is written against this
+interface so that the identical policy code runs both in real time (the
+threaded server) and in simulated time (the discrete-event kernel).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+
+class Clock:
+    """Abstract source of the current time in seconds.
+
+    Subclasses must implement :meth:`now`.  Times are floats in seconds;
+    the epoch is unspecified and only differences are meaningful.
+    """
+
+    def now(self) -> float:
+        """Return the current time in seconds."""
+        raise NotImplementedError
+
+
+class MonotonicClock(Clock):
+    """Wall-clock time from :func:`time.monotonic`.
+
+    Used by the real threaded server.  Monotonic rather than civil time
+    so that service-time measurements never go backwards.
+    """
+
+    def now(self) -> float:
+        return time.monotonic()
+
+
+class ManualClock(Clock):
+    """A clock advanced explicitly, used by tests and the simulator.
+
+    Thread-safe: the real server's tests drive it from multiple threads.
+    """
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+        self._lock = threading.Lock()
+
+    def now(self) -> float:
+        with self._lock:
+            return self._now
+
+    def advance(self, delta: float) -> float:
+        """Move time forward by ``delta`` seconds and return the new time."""
+        if delta < 0:
+            raise ValueError(f"cannot advance clock by negative delta {delta!r}")
+        with self._lock:
+            self._now += delta
+            return self._now
+
+    def set(self, value: float) -> None:
+        """Jump to an absolute time.  Must not move backwards."""
+        with self._lock:
+            if value < self._now:
+                raise ValueError(
+                    f"cannot move clock backwards from {self._now} to {value}"
+                )
+            self._now = float(value)

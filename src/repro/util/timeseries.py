@@ -1,0 +1,229 @@
+"""Metric containers: time series, histograms, running statistics.
+
+Used by the server-side stats collector, the simulator's result
+recorder, and the experiment harness to regenerate the paper's tables
+and figures.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+import threading
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+
+class TimeSeries:
+    """An append-only sequence of (time, value) samples.
+
+    Appends must be in non-decreasing time order, matching how both the
+    real server (sampled once per second) and the simulator (event
+    times) produce them.
+    """
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self._times: List[float] = []
+        self._values: List[float] = []
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    def append(self, t: float, value: float) -> None:
+        with self._lock:
+            if self._times and t < self._times[-1]:
+                raise ValueError(
+                    f"time series {self.name!r}: sample at t={t} is earlier "
+                    f"than last sample at t={self._times[-1]}"
+                )
+            self._times.append(float(t))
+            self._values.append(float(value))
+
+    @property
+    def times(self) -> List[float]:
+        with self._lock:
+            return list(self._times)
+
+    @property
+    def values(self) -> List[float]:
+        with self._lock:
+            return list(self._values)
+
+    def samples(self) -> List[Tuple[float, float]]:
+        with self._lock:
+            return list(zip(self._times, self._values))
+
+    def max(self) -> float:
+        with self._lock:
+            if not self._values:
+                raise ValueError(f"time series {self.name!r} is empty")
+            return max(self._values)
+
+    def mean(self) -> float:
+        with self._lock:
+            if not self._values:
+                raise ValueError(f"time series {self.name!r} is empty")
+            return sum(self._values) / len(self._values)
+
+    def window_mean(self, start: float, end: float) -> float:
+        """Mean of samples with start <= t < end."""
+        with self._lock:
+            lo = bisect.bisect_left(self._times, start)
+            hi = bisect.bisect_left(self._times, end)
+            window = self._values[lo:hi]
+        if not window:
+            raise ValueError(
+                f"time series {self.name!r}: no samples in [{start}, {end})"
+            )
+        return sum(window) / len(window)
+
+    def bucketize(self, bucket_width: float, start: float = 0.0,
+                  end: Optional[float] = None) -> "TimeSeries":
+        """Sum event values into fixed-width buckets.
+
+        Suitable for turning per-completion events (value 1 per sample)
+        into an interactions-per-bucket throughput curve, as in the
+        paper's Figures 9 and 10.
+        """
+        if bucket_width <= 0:
+            raise ValueError("bucket_width must be positive")
+        samples = self.samples()
+        if end is None:
+            # Default end includes the final sample (a half-open window
+            # ending exactly at the last event would silently drop it).
+            end = samples[-1][0] + 1e-9 if samples else start
+        n_buckets = max(1, int(math.ceil((end - start) / bucket_width)))
+        sums = [0.0] * n_buckets
+        for t, v in samples:
+            if t < start or t >= end:
+                continue
+            idx = int((t - start) / bucket_width)
+            if idx >= n_buckets:
+                idx = n_buckets - 1
+            sums[idx] += v
+        out = TimeSeries(name=f"{self.name}/bucketized")
+        for i, total in enumerate(sums):
+            out.append(start + i * bucket_width, total)
+        return out
+
+
+class WelfordAccumulator:
+    """Numerically stable running mean/variance (Welford's algorithm)."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self._n = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+        self._lock = threading.Lock()
+
+    def add(self, x: float) -> None:
+        with self._lock:
+            self._n += 1
+            delta = x - self._mean
+            self._mean += delta / self._n
+            self._m2 += delta * (x - self._mean)
+            if x < self._min:
+                self._min = x
+            if x > self._max:
+                self._max = x
+
+    def extend(self, xs: Iterable[float]) -> None:
+        for x in xs:
+            self.add(x)
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._n
+
+    @property
+    def mean(self) -> float:
+        with self._lock:
+            if self._n == 0:
+                raise ValueError(f"accumulator {self.name!r} is empty")
+            return self._mean
+
+    @property
+    def variance(self) -> float:
+        with self._lock:
+            if self._n < 2:
+                return 0.0
+            return self._m2 / (self._n - 1)
+
+    @property
+    def stddev(self) -> float:
+        return math.sqrt(self.variance)
+
+    @property
+    def minimum(self) -> float:
+        with self._lock:
+            if self._n == 0:
+                raise ValueError(f"accumulator {self.name!r} is empty")
+            return self._min
+
+    @property
+    def maximum(self) -> float:
+        with self._lock:
+            if self._n == 0:
+                raise ValueError(f"accumulator {self.name!r} is empty")
+            return self._max
+
+
+class Histogram:
+    """Fixed-bucket histogram with overflow bucket, plus exact percentiles.
+
+    Keeps raw samples (the experiment scales here are small enough) so
+    percentiles are exact rather than bucket-interpolated.
+    """
+
+    def __init__(self, name: str = "", bucket_bounds: Optional[Sequence[float]] = None):
+        self.name = name
+        if bucket_bounds is None:
+            # Log-spaced bounds from 1 ms to ~100 s, suitable for
+            # response-time distributions.
+            bucket_bounds = [0.001 * (2**i) for i in range(18)]
+        bounds = sorted(float(b) for b in bucket_bounds)
+        if not bounds:
+            raise ValueError("bucket_bounds must be non-empty")
+        self._bounds = bounds
+        self._counts = [0] * (len(bounds) + 1)
+        self._samples: List[float] = []
+        self._lock = threading.Lock()
+
+    def add(self, x: float) -> None:
+        with self._lock:
+            idx = bisect.bisect_right(self._bounds, x)
+            self._counts[idx] += 1
+            self._samples.append(x)
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return len(self._samples)
+
+    def bucket_counts(self) -> Dict[str, int]:
+        """Counts labelled by upper bound; the last bucket is '+inf'."""
+        with self._lock:
+            labels = [f"<={b:g}" for b in self._bounds] + ["+inf"]
+            return dict(zip(labels, self._counts))
+
+    def percentile(self, p: float) -> float:
+        """Exact p-th percentile (nearest-rank), p in [0, 100]."""
+        if not 0 <= p <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        with self._lock:
+            if not self._samples:
+                raise ValueError(f"histogram {self.name!r} is empty")
+            ordered = sorted(self._samples)
+        rank = max(1, math.ceil(p / 100.0 * len(ordered)))
+        return ordered[rank - 1]
+
+    def mean(self) -> float:
+        with self._lock:
+            if not self._samples:
+                raise ValueError(f"histogram {self.name!r} is empty")
+            return sum(self._samples) / len(self._samples)

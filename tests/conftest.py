@@ -1,0 +1,52 @@
+"""Shared fixtures: populated TPC-W databases, applications, servers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db.engine import Database
+from repro.db.pool import ConnectionPool
+from repro.tpcw.app import TPCWApplication
+from repro.tpcw.population import PopulationScale, populate
+from repro.tpcw.schema import create_schema
+
+
+@pytest.fixture(scope="session")
+def tpcw_database():
+    """A tiny populated TPC-W database, shared (read-mostly) per session."""
+    database = Database()
+    create_schema(database)
+    populate(database, PopulationScale.tiny())
+    return database
+
+
+@pytest.fixture(scope="session")
+def tiny_scale():
+    return PopulationScale.tiny()
+
+
+@pytest.fixture()
+def fresh_tpcw_database():
+    """A private populated database for tests that mutate data."""
+    database = Database()
+    create_schema(database)
+    populate(database, PopulationScale.tiny())
+    return database
+
+
+@pytest.fixture()
+def tpcw_app(fresh_tpcw_database):
+    """A TPC-W application over a private database, with a bound
+    connection so handlers can be called directly."""
+    app = TPCWApplication(fresh_tpcw_database, bestseller_window=50)
+    pool = ConnectionPool(fresh_tpcw_database, size=2)
+    connection = pool.acquire()
+    app.bind_connection(connection)
+    yield app
+    app.bind_connection(None)
+    pool.release(connection)
+
+
+@pytest.fixture()
+def empty_database():
+    return Database()

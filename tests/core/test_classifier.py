@@ -1,0 +1,117 @@
+"""Request classifier tests (static/dynamic, quick/lengthy)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.classifier import (
+    RequestClass,
+    RequestClassifier,
+    path_extension,
+)
+from repro.core.latency import ServiceTimeTracker
+
+
+class TestPathExtension:
+    @pytest.mark.parametrize("path,expected", [
+        ("/img/flowers.gif", "gif"),
+        ("/a/b/c.JPEG", "jpeg"),
+        ("/style.css?v=3", "css"),
+        ("/homepage", None),
+        ("/homepage?userid=5&popups=no", None),
+        ("/dir.with.dots/page", None),
+        ("/file.", None),
+        ("/", None),
+        ("/x.tar.gz", "gz"),
+        ("/page#frag", None),
+        ("/img/pic.png#top", "png"),
+    ])
+    def test_extension(self, path, expected):
+        assert path_extension(path) == expected
+
+
+class TestStaticDetection:
+    def test_paper_static_example(self):
+        classifier = RequestClassifier()
+        assert classifier.is_static("/img/flowers.gif")
+
+    def test_paper_dynamic_example(self):
+        classifier = RequestClassifier()
+        assert not classifier.is_static("/homepage?userid=5&popups=no")
+
+    def test_unknown_extension_is_dynamic(self):
+        # /report.cgi is executable, not a static file.
+        classifier = RequestClassifier()
+        assert not classifier.is_static("/report.cgi")
+
+    def test_custom_extension_set(self):
+        classifier = RequestClassifier(static_extensions=frozenset({"cgi"}))
+        assert classifier.is_static("/report.cgi")
+        assert not classifier.is_static("/img/flowers.gif")
+
+    def test_extension_case_insensitive(self):
+        classifier = RequestClassifier()
+        assert classifier.is_static("/a.GIF")
+
+
+class TestQuickLengthy:
+    def test_unknown_page_defaults_to_quick(self):
+        classifier = RequestClassifier()
+        assert classifier.classify("/newpage") is RequestClass.QUICK_DYNAMIC
+
+    def test_page_above_cutoff_is_lengthy(self):
+        tracker = ServiceTimeTracker()
+        tracker.record("/slow", 5.0)
+        classifier = RequestClassifier(tracker=tracker, lengthy_cutoff=2.0)
+        assert classifier.classify("/slow") is RequestClass.LENGTHY_DYNAMIC
+
+    def test_page_below_cutoff_is_quick(self):
+        tracker = ServiceTimeTracker()
+        tracker.record("/fast", 0.5)
+        classifier = RequestClassifier(tracker=tracker, lengthy_cutoff=2.0)
+        assert classifier.classify("/fast") is RequestClass.QUICK_DYNAMIC
+
+    def test_exactly_at_cutoff_is_quick(self):
+        tracker = ServiceTimeTracker()
+        tracker.record("/edge", 2.0)
+        classifier = RequestClassifier(tracker=tracker, lengthy_cutoff=2.0)
+        assert classifier.classify("/edge") is RequestClass.QUICK_DYNAMIC
+
+    def test_query_string_does_not_split_history(self):
+        tracker = ServiceTimeTracker()
+        classifier = RequestClassifier(tracker=tracker, lengthy_cutoff=2.0)
+        tracker.record(classifier.page_key("/page?a=1"), 5.0)
+        assert classifier.classify("/page?a=2") is RequestClass.LENGTHY_DYNAMIC
+
+    def test_static_class_wins_over_history(self):
+        tracker = ServiceTimeTracker()
+        tracker.record("/big.gif", 10.0)
+        classifier = RequestClassifier(tracker=tracker)
+        assert classifier.classify("/big.gif") is RequestClass.STATIC
+
+    def test_mean_shifts_classification(self):
+        tracker = ServiceTimeTracker()
+        classifier = RequestClassifier(tracker=tracker, lengthy_cutoff=2.0)
+        tracker.record("/page", 10.0)
+        assert classifier.classify("/page") is RequestClass.LENGTHY_DYNAMIC
+        for _ in range(20):
+            tracker.record("/page", 0.1)
+        assert classifier.classify("/page") is RequestClass.QUICK_DYNAMIC
+
+    def test_invalid_cutoff_rejected(self):
+        with pytest.raises(ValueError):
+            RequestClassifier(lengthy_cutoff=0.0)
+
+
+class TestRequestClassEnum:
+    def test_is_dynamic(self):
+        assert not RequestClass.STATIC.is_dynamic
+        assert RequestClass.QUICK_DYNAMIC.is_dynamic
+        assert RequestClass.LENGTHY_DYNAMIC.is_dynamic
+
+
+@given(st.text(alphabet=st.characters(blacklist_characters="\x00"),
+               max_size=60))
+def test_classify_never_crashes_on_arbitrary_paths(path):
+    classifier = RequestClassifier()
+    result = classifier.classify("/" + path)
+    assert isinstance(result, RequestClass)

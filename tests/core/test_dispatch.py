@@ -1,0 +1,91 @@
+"""Dispatcher tests: the paper's Table 1 rules."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.classifier import RequestClass
+from repro.core.dispatch import (
+    AlwaysGeneralDispatcher,
+    Dispatcher,
+    DynamicPoolChoice,
+    StrictSeparationDispatcher,
+)
+
+
+class TestTable1Rules:
+    """Table 1's three rows, verbatim."""
+
+    def test_quick_request_goes_to_general(self):
+        choice = Dispatcher().choose_pool(
+            RequestClass.QUICK_DYNAMIC, tspare=0, treserve=100
+        )
+        assert choice is DynamicPoolChoice.GENERAL
+
+    def test_lengthy_with_spare_above_reserve_goes_to_general(self):
+        choice = Dispatcher().choose_pool(
+            RequestClass.LENGTHY_DYNAMIC, tspare=30, treserve=20
+        )
+        assert choice is DynamicPoolChoice.GENERAL
+
+    def test_lengthy_with_spare_at_or_below_reserve_goes_to_lengthy(self):
+        dispatcher = Dispatcher()
+        at = dispatcher.choose_pool(
+            RequestClass.LENGTHY_DYNAMIC, tspare=20, treserve=20
+        )
+        below = dispatcher.choose_pool(
+            RequestClass.LENGTHY_DYNAMIC, tspare=10, treserve=20
+        )
+        assert at is DynamicPoolChoice.LENGTHY
+        assert below is DynamicPoolChoice.LENGTHY
+
+    def test_static_rejected(self):
+        with pytest.raises(ValueError):
+            Dispatcher().choose_pool(RequestClass.STATIC, 10, 5)
+
+    @given(st.integers(min_value=0, max_value=500),
+           st.integers(min_value=0, max_value=500))
+    def test_quick_never_diverted(self, tspare, treserve):
+        choice = Dispatcher().choose_pool(
+            RequestClass.QUICK_DYNAMIC, tspare=tspare, treserve=treserve
+        )
+        assert choice is DynamicPoolChoice.GENERAL
+
+    @given(st.integers(min_value=0, max_value=500),
+           st.integers(min_value=0, max_value=500))
+    def test_lengthy_rule_is_exact_comparison(self, tspare, treserve):
+        choice = Dispatcher().choose_pool(
+            RequestClass.LENGTHY_DYNAMIC, tspare=tspare, treserve=treserve
+        )
+        expected = (
+            DynamicPoolChoice.GENERAL if tspare > treserve
+            else DynamicPoolChoice.LENGTHY
+        )
+        assert choice is expected
+
+
+class TestAblationDispatchers:
+    def test_always_general_sends_lengthy_to_general(self):
+        choice = AlwaysGeneralDispatcher().choose_pool(
+            RequestClass.LENGTHY_DYNAMIC, tspare=0, treserve=100
+        )
+        assert choice is DynamicPoolChoice.GENERAL
+
+    def test_always_general_rejects_static(self):
+        with pytest.raises(ValueError):
+            AlwaysGeneralDispatcher().choose_pool(RequestClass.STATIC, 1, 1)
+
+    def test_strict_separation_always_diverts_lengthy(self):
+        choice = StrictSeparationDispatcher().choose_pool(
+            RequestClass.LENGTHY_DYNAMIC, tspare=100, treserve=0
+        )
+        assert choice is DynamicPoolChoice.LENGTHY
+
+    def test_strict_separation_keeps_quick_in_general(self):
+        choice = StrictSeparationDispatcher().choose_pool(
+            RequestClass.QUICK_DYNAMIC, tspare=0, treserve=100
+        )
+        assert choice is DynamicPoolChoice.GENERAL
+
+    def test_strict_separation_rejects_static(self):
+        with pytest.raises(ValueError):
+            StrictSeparationDispatcher().choose_pool(RequestClass.STATIC, 1, 1)

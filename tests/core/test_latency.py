@@ -1,0 +1,121 @@
+"""ServiceTimeTracker tests."""
+
+import threading
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.latency import ServiceTimeTracker
+
+
+class TestRunningMean:
+    def test_unknown_page_has_no_mean(self):
+        assert ServiceTimeTracker().mean_time("/nope") is None
+
+    def test_single_sample(self):
+        tracker = ServiceTimeTracker()
+        tracker.record("/p", 1.5)
+        assert tracker.mean_time("/p") == 1.5
+
+    def test_mean_of_many(self):
+        tracker = ServiceTimeTracker()
+        for value in [1.0, 2.0, 3.0]:
+            tracker.record("/p", value)
+        assert tracker.mean_time("/p") == pytest.approx(2.0)
+
+    def test_pages_are_independent(self):
+        tracker = ServiceTimeTracker()
+        tracker.record("/a", 1.0)
+        tracker.record("/b", 9.0)
+        assert tracker.mean_time("/a") == 1.0
+        assert tracker.mean_time("/b") == 9.0
+
+    def test_sample_count(self):
+        tracker = ServiceTimeTracker()
+        assert tracker.sample_count("/p") == 0
+        tracker.record("/p", 1.0)
+        tracker.record("/p", 2.0)
+        assert tracker.sample_count("/p") == 2
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            ServiceTimeTracker().record("/p", -0.1)
+
+    def test_zero_time_allowed(self):
+        tracker = ServiceTimeTracker()
+        tracker.record("/p", 0.0)
+        assert tracker.mean_time("/p") == 0.0
+
+    def test_pages_snapshot(self):
+        tracker = ServiceTimeTracker()
+        tracker.record("/a", 1.0)
+        tracker.record("/b", 2.0)
+        assert tracker.pages() == {"/a": 1.0, "/b": 2.0}
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e5,
+                              allow_nan=False), min_size=1, max_size=60))
+    def test_mean_matches_arithmetic_mean(self, samples):
+        tracker = ServiceTimeTracker()
+        for sample in samples:
+            tracker.record("/p", sample)
+        assert tracker.mean_time("/p") == pytest.approx(
+            sum(samples) / len(samples), rel=1e-9, abs=1e-9
+        )
+
+
+class TestWindowedMode:
+    def test_ewma_adapts_after_warmup(self):
+        tracker = ServiceTimeTracker(window=4)
+        for _ in range(4):
+            tracker.record("/p", 10.0)
+        for _ in range(60):
+            tracker.record("/p", 1.0)
+        # Plain mean would still be ~1.6; EWMA converges to ~1.0.
+        assert tracker.mean_time("/p") == pytest.approx(1.0, abs=0.01)
+
+    def test_plain_mean_before_warmup(self):
+        tracker = ServiceTimeTracker(window=10)
+        tracker.record("/p", 2.0)
+        tracker.record("/p", 4.0)
+        assert tracker.mean_time("/p") == pytest.approx(3.0)
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValueError):
+            ServiceTimeTracker(window=0)
+
+
+class TestPrime:
+    def test_prime_seeds_history(self):
+        tracker = ServiceTimeTracker()
+        tracker.prime("/slow", 12.0, count=100)
+        assert tracker.mean_time("/slow") == 12.0
+        assert tracker.sample_count("/slow") == 100
+
+    def test_primed_mean_moves_slowly(self):
+        tracker = ServiceTimeTracker()
+        tracker.prime("/slow", 12.0, count=100)
+        tracker.record("/slow", 0.0)
+        assert tracker.mean_time("/slow") == pytest.approx(12.0 * 100 / 101)
+
+    def test_prime_invalid_count(self):
+        with pytest.raises(ValueError):
+            ServiceTimeTracker().prime("/p", 1.0, count=0)
+
+
+class TestConcurrency:
+    def test_concurrent_records_count_correctly(self):
+        tracker = ServiceTimeTracker()
+        barrier = threading.Barrier(8)
+
+        def worker():
+            barrier.wait()
+            for _ in range(250):
+                tracker.record("/p", 1.0)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert tracker.sample_count("/p") == 2000
+        assert tracker.mean_time("/p") == pytest.approx(1.0)

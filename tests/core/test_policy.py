@@ -1,0 +1,110 @@
+"""SchedulingPolicy facade tests."""
+
+import pytest
+
+from repro.core.classifier import RequestClass
+from repro.core.dispatch import DynamicPoolChoice, StrictSeparationDispatcher
+from repro.core.policy import PolicyConfig, SchedulingPolicy
+
+
+class TestPolicyConfig:
+    def test_defaults_are_papers_values(self):
+        config = PolicyConfig()
+        assert config.lengthy_cutoff == 2.0
+        assert config.minimum_reserve == 20
+        assert config.reserve_update_interval == 1.0
+        assert config.general_pool_size == 4 * config.lengthy_pool_size
+
+    @pytest.mark.parametrize("field,value", [
+        ("general_pool_size", 0),
+        ("lengthy_pool_size", 0),
+        ("header_pool_size", 0),
+        ("static_pool_size", -1),
+        ("render_pool_size", 0),
+    ])
+    def test_pool_sizes_validated(self, field, value):
+        with pytest.raises(ValueError):
+            PolicyConfig(**{field: value})
+
+    def test_cutoff_validated(self):
+        with pytest.raises(ValueError):
+            PolicyConfig(lengthy_cutoff=-1.0)
+
+    def test_reserve_cannot_exceed_general_pool(self):
+        with pytest.raises(ValueError):
+            PolicyConfig(general_pool_size=10, minimum_reserve=11)
+
+    def test_maximum_reserve_must_be_below_pool(self):
+        with pytest.raises(ValueError):
+            PolicyConfig(general_pool_size=10, minimum_reserve=2,
+                         maximum_reserve=10)
+
+    def test_maximum_reserve_must_cover_minimum(self):
+        with pytest.raises(ValueError):
+            PolicyConfig(minimum_reserve=10, maximum_reserve=5)
+
+    def test_update_interval_validated(self):
+        with pytest.raises(ValueError):
+            PolicyConfig(reserve_update_interval=0.0)
+
+
+class TestClassifyAndRoute:
+    def test_static_path_classified(self):
+        policy = SchedulingPolicy()
+        assert policy.classify("/img/x.gif") is RequestClass.STATIC
+
+    def test_route_rejects_static(self):
+        policy = SchedulingPolicy()
+        with pytest.raises(ValueError):
+            policy.route("/img/x.gif", tspare=10)
+
+    def test_new_page_routes_to_general(self):
+        policy = SchedulingPolicy()
+        assert policy.route("/page", tspare=0) is DynamicPoolChoice.GENERAL
+
+    def test_feedback_reclassifies_to_lengthy(self):
+        policy = SchedulingPolicy()
+        policy.record_generation_time("/slow?param=1", 10.0)
+        # tspare at/below treserve (starts at the minimum, 20).
+        assert policy.route("/slow", tspare=20) is DynamicPoolChoice.LENGTHY
+
+    def test_lengthy_with_ample_spare_still_general(self):
+        policy = SchedulingPolicy()
+        policy.record_generation_time("/slow", 10.0)
+        assert policy.route("/slow", tspare=50) is DynamicPoolChoice.GENERAL
+
+    def test_custom_dispatcher_honoured(self):
+        policy = SchedulingPolicy(dispatcher=StrictSeparationDispatcher())
+        policy.record_generation_time("/slow", 10.0)
+        assert policy.route("/slow", tspare=100) is DynamicPoolChoice.LENGTHY
+
+
+class TestTick:
+    def test_tick_moves_reserve(self):
+        policy = SchedulingPolicy()
+        start = policy.treserve
+        delta = policy.tick(tspare=0)
+        assert delta > 0
+        assert policy.treserve == start + delta
+
+    def test_tick_bounded_by_general_pool(self):
+        config = PolicyConfig(general_pool_size=8, lengthy_pool_size=2,
+                              minimum_reserve=2)
+        policy = SchedulingPolicy(config)
+        for _ in range(20):
+            policy.tick(tspare=0)
+        assert policy.treserve <= config.general_pool_size - 1
+
+    def test_explicit_maximum_reserve_honoured(self):
+        config = PolicyConfig(general_pool_size=100, lengthy_pool_size=25,
+                              minimum_reserve=4, maximum_reserve=16)
+        policy = SchedulingPolicy(config)
+        for _ in range(20):
+            policy.tick(tspare=0)
+        assert policy.treserve == 16
+
+    def test_record_uses_page_key(self):
+        policy = SchedulingPolicy()
+        policy.record_generation_time("/p?x=1", 3.0)
+        policy.record_generation_time("/p?x=2", 5.0)
+        assert policy.tracker.mean_time("/p") == pytest.approx(4.0)

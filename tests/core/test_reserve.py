@@ -1,0 +1,135 @@
+"""ReserveController tests, including the exact Table 2 reproduction."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.reserve import ReserveController
+
+#: Paper Table 2, minimum treserve configured as 20.
+PAPER_TSPARE = [35, 24, 17, 21, 30, 36, 38, 37, 35, 39]
+PAPER_ROWS = [
+    (35, 20, 0), (24, 20, 0), (17, 20, 6), (21, 26, 5), (30, 31, 1),
+    (36, 32, -2), (38, 30, -4), (37, 26, -5), (35, 21, -1), (39, 20, 0),
+]
+
+
+class TestPaperTable2:
+    def test_exact_reproduction(self):
+        controller = ReserveController(minimum=20)
+        assert controller.run_trace(PAPER_TSPARE) == PAPER_ROWS
+
+    def test_final_value_returns_to_minimum(self):
+        controller = ReserveController(minimum=20)
+        controller.run_trace(PAPER_TSPARE)
+        assert controller.treserve == 20
+
+
+class TestGrowth:
+    def test_grows_by_difference_when_above_minimum(self):
+        controller = ReserveController(minimum=10, initial=20)
+        delta = controller.update(15)  # above minimum, below treserve
+        assert delta == 5
+        assert controller.treserve == 25
+
+    def test_grows_by_difference_plus_shortfall_below_minimum(self):
+        # Paper: "plus the amount that tspare has dropped beneath a
+        # configured minimum value of treserve, if applicable."
+        controller = ReserveController(minimum=20)
+        delta = controller.update(17)
+        assert delta == (20 - 17) + (20 - 17)
+        assert controller.treserve == 26
+
+    def test_zero_spare_doubles_and_adds_minimum(self):
+        controller = ReserveController(minimum=20)
+        controller.update(0)
+        assert controller.treserve == 20 + 20 + 20
+
+    def test_growth_capped_at_maximum(self):
+        controller = ReserveController(minimum=5, maximum=12)
+        for _ in range(10):
+            controller.update(0)
+        assert controller.treserve == 12
+
+    def test_unbounded_growth_without_maximum_is_finite_per_step(self):
+        controller = ReserveController(minimum=5)
+        before = controller.treserve
+        controller.update(0)
+        assert controller.treserve == before * 2 + 5
+
+
+class TestDecay:
+    def test_decays_by_half_the_difference(self):
+        controller = ReserveController(minimum=20, initial=30)
+        delta = controller.update(38)
+        assert delta == -4
+
+    def test_decay_floors_at_minimum(self):
+        controller = ReserveController(minimum=20, initial=21)
+        controller.update(39)
+        assert controller.treserve == 20
+
+    def test_decay_always_makes_progress(self):
+        # Difference of exactly 1 must still decay (else treserve can
+        # latch just below a saturated pool's size forever).
+        controller = ReserveController(minimum=5, initial=10)
+        delta = controller.update(11)
+        assert delta == -1
+
+    def test_equal_spare_leaves_reserve_unchanged(self):
+        controller = ReserveController(minimum=20, initial=25)
+        assert controller.update(25) == 0
+        assert controller.treserve == 25
+
+    def test_decay_after_spike_recovers_to_minimum(self):
+        controller = ReserveController(minimum=10)
+        controller.update(0)   # spike
+        spiked = controller.treserve
+        assert spiked > 10
+        for _ in range(100):
+            controller.update(spiked + 50)
+        assert controller.treserve == 10
+
+
+class TestValidation:
+    def test_negative_minimum_rejected(self):
+        with pytest.raises(ValueError):
+            ReserveController(minimum=-1)
+
+    def test_initial_below_minimum_rejected(self):
+        with pytest.raises(ValueError):
+            ReserveController(minimum=10, initial=5)
+
+    def test_maximum_below_minimum_rejected(self):
+        with pytest.raises(ValueError):
+            ReserveController(minimum=10, maximum=5)
+
+    def test_negative_tspare_rejected(self):
+        controller = ReserveController(minimum=5)
+        with pytest.raises(ValueError):
+            controller.update(-1)
+
+
+class TestInvariants:
+    @given(st.lists(st.integers(min_value=0, max_value=200), min_size=1,
+                    max_size=200))
+    def test_treserve_never_below_minimum(self, trace):
+        controller = ReserveController(minimum=15)
+        for tspare in trace:
+            controller.update(tspare)
+            assert controller.treserve >= 15
+
+    @given(st.lists(st.integers(min_value=0, max_value=200), min_size=1,
+                    max_size=200))
+    def test_treserve_never_above_maximum(self, trace):
+        controller = ReserveController(minimum=5, maximum=50)
+        for tspare in trace:
+            controller.update(tspare)
+            assert 5 <= controller.treserve <= 50
+
+    @given(st.integers(min_value=0, max_value=1000),
+           st.integers(min_value=0, max_value=100))
+    def test_update_is_deterministic(self, tspare, minimum):
+        a = ReserveController(minimum=minimum)
+        b = ReserveController(minimum=minimum)
+        assert a.update(tspare) == b.update(tspare)
+        assert a.treserve == b.treserve

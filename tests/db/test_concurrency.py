@@ -1,0 +1,177 @@
+"""Database concurrency tests: MyISAM-style locking semantics under
+real threads, including the paper's admin-response scenario."""
+
+import threading
+import time
+
+import pytest
+
+from repro.db.cost import SleepingCostModel
+from repro.db.engine import Database
+
+
+def make_db(cost_model=None):
+    database = Database(cost_model=cost_model)
+    database.executescript("""
+        CREATE TABLE item (i_id INT PRIMARY KEY AUTO_INCREMENT, v INT);
+        CREATE TABLE log (l_id INT PRIMARY KEY AUTO_INCREMENT, note TEXT);
+    """)
+    for i in range(50):
+        database.execute("INSERT INTO item (v) VALUES (%s)", (i,))
+    return database
+
+
+class TestConcurrentReads:
+    def test_parallel_scans_consistent(self):
+        database = make_db()
+        errors = []
+
+        def scanner():
+            try:
+                for _ in range(50):
+                    result = database.execute("SELECT COUNT(*) FROM item")
+                    assert result.rows[0][0] == 50
+            except Exception as exc:  # noqa: BLE001 - collected for assert
+                errors.append(exc)
+
+        threads = [threading.Thread(target=scanner) for _ in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert not errors
+
+
+class TestConcurrentInsertsWithReaders:
+    def test_myisam_concurrent_insert(self):
+        """Inserts (shared lock + append latch) proceed while readers
+        scan; final count is exact."""
+        database = make_db()
+        errors = []
+        stop = threading.Event()
+
+        def reader():
+            while not stop.is_set():
+                try:
+                    database.execute("SELECT SUM(v) FROM item")
+                except Exception as exc:  # noqa: BLE001
+                    errors.append(exc)
+                    return
+
+        def inserter(offset):
+            try:
+                for i in range(100):
+                    database.execute(
+                        "INSERT INTO log (note) VALUES (%s)",
+                        (f"row-{offset}-{i}",),
+                    )
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        readers = [threading.Thread(target=reader) for _ in range(3)]
+        inserters = [
+            threading.Thread(target=inserter, args=(n,)) for n in range(3)
+        ]
+        for t in readers + inserters:
+            t.start()
+        for t in inserters:
+            t.join(timeout=30)
+        stop.set()
+        for t in readers:
+            t.join(timeout=30)
+        assert not errors
+        assert database.execute("SELECT COUNT(*) FROM log").rows == [(300,)]
+
+    def test_concurrent_inserts_unique_ids(self):
+        database = make_db()
+        ids = []
+        lock = threading.Lock()
+
+        def inserter():
+            for _ in range(100):
+                result = database.execute("INSERT INTO log (note) VALUES ('x')")
+                with lock:
+                    ids.append(result.lastrowid)
+
+        threads = [threading.Thread(target=inserter) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert len(ids) == 400
+        assert len(set(ids)) == 400
+
+
+class TestWriteLockBehaviour:
+    def test_update_waits_for_slow_reader(self):
+        """The admin-response mechanism: an UPDATE on item must wait
+        for a reader holding the shared lock (here made slow with a
+        sleeping cost model)."""
+        database = make_db(
+            SleepingCostModel(costs={"row_scan": 2e-3}, scale=1.0)
+        )
+        timeline = []
+
+        def slow_reader():
+            timeline.append(("read-start", time.monotonic()))
+            database.execute("SELECT SUM(v) FROM item")  # 50 rows * 2ms
+            timeline.append(("read-end", time.monotonic()))
+
+        def writer():
+            time.sleep(0.02)  # let the reader take its lock first
+            timeline.append(("write-start", time.monotonic()))
+            database.execute("UPDATE item SET v = 0 WHERE i_id = 1")
+            timeline.append(("write-end", time.monotonic()))
+
+        threads = [threading.Thread(target=slow_reader),
+                   threading.Thread(target=writer)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        events = dict(timeline)
+        assert events["write-end"] >= events["read-end"]
+
+    def test_updates_serialise(self):
+        database = make_db()
+
+        def bump():
+            for _ in range(100):
+                database.execute(
+                    "UPDATE item SET v = v + 1 WHERE i_id = 1"
+                )
+
+        threads = [threading.Thread(target=bump) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        result = database.execute("SELECT v FROM item WHERE i_id = 1")
+        assert result.rows == [(400,)]
+
+    def test_delete_then_scan_consistent(self):
+        database = make_db()
+        database.execute("DELETE FROM item WHERE v < 25")
+        assert database.execute("SELECT COUNT(*) FROM item").rows == [(25,)]
+
+
+class TestStatementCacheThreadSafety:
+    def test_concurrent_identical_statements(self):
+        database = make_db()
+        errors = []
+
+        def worker():
+            try:
+                for i in range(200):
+                    database.execute(
+                        "SELECT v FROM item WHERE i_id = %s", (1 + i % 50,)
+                    )
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert not errors

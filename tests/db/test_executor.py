@@ -1,0 +1,424 @@
+"""SQL executor tests against the storage layer."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.db.engine import Database
+from repro.db.errors import (
+    ColumnError,
+    IntegrityError,
+    ProgrammingError,
+    SQLSyntaxError,
+    TableError,
+)
+
+
+@pytest.fixture()
+def db():
+    database = Database()
+    database.executescript("""
+        CREATE TABLE item (
+            i_id INT PRIMARY KEY AUTO_INCREMENT,
+            i_title VARCHAR(60),
+            i_cost FLOAT,
+            i_a_id INT,
+            i_subject VARCHAR(20)
+        );
+        CREATE TABLE author (
+            a_id INT PRIMARY KEY,
+            a_fname VARCHAR(20),
+            a_lname VARCHAR(20)
+        );
+        CREATE INDEX idx_item_author ON item (i_a_id);
+    """)
+    database.execute(
+        "INSERT INTO author (a_id, a_fname, a_lname) VALUES "
+        "(1, 'Jane', 'Doe'), (2, 'Sam', 'Roe')"
+    )
+    rows = [
+        ("Alpha", 10.0, 1, "ARTS"),
+        ("Beta", 20.0, 2, "ARTS"),
+        ("Gamma", 30.0, 1, "SPORTS"),
+        ("Delta", 40.0, 2, "SPORTS"),
+        ("Epsilon", 50.0, 1, "HISTORY"),
+    ]
+    for title, cost, author, subject in rows:
+        database.execute(
+            "INSERT INTO item (i_title, i_cost, i_a_id, i_subject) "
+            "VALUES (%s, %s, %s, %s)",
+            (title, cost, author, subject),
+        )
+    return database
+
+
+class TestSelectBasics:
+    def test_select_star(self, db):
+        result = db.execute("SELECT * FROM item")
+        assert len(result) == 5
+        assert result.columns == [
+            "i_id", "i_title", "i_cost", "i_a_id", "i_subject",
+        ]
+
+    def test_select_columns(self, db):
+        result = db.execute("SELECT i_title, i_cost FROM item WHERE i_id = 1")
+        assert result.rows == [("Alpha", 10.0)]
+
+    def test_where_by_pk_uses_index(self, db):
+        before = db.cost_model.counts()["row_scan"]
+        db.execute("SELECT i_title FROM item WHERE i_id = %s", (3,))
+        assert db.cost_model.counts()["row_scan"] == before
+
+    def test_where_unindexed_scans(self, db):
+        before = db.cost_model.counts()["row_scan"]
+        db.execute("SELECT i_title FROM item WHERE i_subject = 'ARTS'")
+        assert db.cost_model.counts()["row_scan"] == before + 5
+
+    def test_comparison_operators(self, db):
+        assert len(db.execute("SELECT * FROM item WHERE i_cost > 30")) == 2
+        assert len(db.execute("SELECT * FROM item WHERE i_cost <= 20")) == 2
+        assert len(db.execute("SELECT * FROM item WHERE i_cost <> 30")) == 4
+
+    def test_and_or(self, db):
+        result = db.execute(
+            "SELECT i_title FROM item "
+            "WHERE i_subject = 'ARTS' AND i_cost > 15"
+        )
+        assert result.rows == [("Beta",)]
+        result = db.execute(
+            "SELECT COUNT(*) FROM item "
+            "WHERE i_subject = 'ARTS' OR i_subject = 'SPORTS'"
+        )
+        assert result.rows == [(4,)]
+
+    def test_like(self, db):
+        result = db.execute("SELECT i_title FROM item WHERE i_title LIKE '%eta%'")
+        titles = {row[0] for row in result}
+        assert titles == {"Beta"}
+
+    def test_like_case_insensitive(self, db):
+        assert len(db.execute(
+            "SELECT * FROM item WHERE i_title LIKE 'alpha'"
+        )) == 1
+
+    def test_in_list(self, db):
+        result = db.execute(
+            "SELECT COUNT(*) FROM item WHERE i_id IN (1, 3, 99)"
+        )
+        assert result.rows == [(2,)]
+
+    def test_between(self, db):
+        assert len(db.execute(
+            "SELECT * FROM item WHERE i_cost BETWEEN 20 AND 40"
+        )) == 3
+
+    def test_is_null(self, db):
+        db.execute("INSERT INTO item (i_title) VALUES ('NoCost')")
+        assert len(db.execute(
+            "SELECT * FROM item WHERE i_cost IS NULL"
+        )) == 1
+        assert len(db.execute(
+            "SELECT * FROM item WHERE i_cost IS NOT NULL"
+        )) == 5
+
+    def test_null_comparisons_never_match(self, db):
+        db.execute("INSERT INTO item (i_title) VALUES ('NoCost')")
+        assert len(db.execute("SELECT * FROM item WHERE i_cost > 0")) == 5
+
+    def test_arithmetic_in_projection(self, db):
+        result = db.execute("SELECT i_cost * 2 FROM item WHERE i_id = 1")
+        assert result.rows == [(20.0,)]
+
+    def test_select_without_from(self, db):
+        assert db.execute("SELECT 1 + 2").rows == [(3,)]
+
+    def test_division_by_zero_yields_null(self, db):
+        assert db.execute("SELECT 1 / 0").rows == [(None,)]
+
+    def test_unknown_table(self, db):
+        with pytest.raises(TableError):
+            db.execute("SELECT * FROM nope")
+
+    def test_unknown_column(self, db):
+        with pytest.raises(ColumnError):
+            db.execute("SELECT nope FROM item")
+
+    def test_missing_parameters(self, db):
+        with pytest.raises(ProgrammingError):
+            db.execute("SELECT * FROM item WHERE i_id = %s")
+
+
+class TestOrderLimit:
+    def test_order_by_asc(self, db):
+        result = db.execute("SELECT i_title FROM item ORDER BY i_cost")
+        assert [r[0] for r in result] == [
+            "Alpha", "Beta", "Gamma", "Delta", "Epsilon",
+        ]
+
+    def test_order_by_desc(self, db):
+        result = db.execute("SELECT i_title FROM item ORDER BY i_cost DESC")
+        assert [r[0] for r in result][0] == "Epsilon"
+
+    def test_order_by_two_keys(self, db):
+        result = db.execute(
+            "SELECT i_subject, i_title FROM item "
+            "ORDER BY i_subject, i_cost DESC"
+        )
+        assert result.rows[0] == ("ARTS", "Beta")
+
+    def test_limit(self, db):
+        assert len(db.execute("SELECT * FROM item LIMIT 2")) == 2
+
+    def test_limit_offset(self, db):
+        result = db.execute(
+            "SELECT i_title FROM item ORDER BY i_id LIMIT 2 OFFSET 1"
+        )
+        assert [r[0] for r in result] == ["Beta", "Gamma"]
+
+    def test_order_by_alias(self, db):
+        result = db.execute(
+            "SELECT i_title, i_cost * 2 AS double_cost FROM item "
+            "ORDER BY double_cost DESC LIMIT 1"
+        )
+        assert result.rows[0][0] == "Epsilon"
+
+    def test_order_by_column_position(self, db):
+        result = db.execute(
+            "SELECT i_title, i_cost FROM item ORDER BY 2 DESC LIMIT 1"
+        )
+        assert result.rows[0][0] == "Epsilon"
+
+    def test_nulls_sort_first(self, db):
+        db.execute("INSERT INTO item (i_title) VALUES ('NoCost')")
+        result = db.execute("SELECT i_title FROM item ORDER BY i_cost")
+        assert result.rows[0][0] == "NoCost"
+
+
+class TestJoins:
+    def test_inner_join(self, db):
+        result = db.execute(
+            "SELECT i_title, a_lname FROM item "
+            "JOIN author ON i_a_id = a_id WHERE i_id = 2"
+        )
+        assert result.rows == [("Beta", "Roe")]
+
+    def test_join_filters_unmatched(self, db):
+        db.execute(
+            "INSERT INTO item (i_title, i_a_id) VALUES ('Orphan', 99)"
+        )
+        result = db.execute(
+            "SELECT COUNT(*) FROM item JOIN author ON i_a_id = a_id"
+        )
+        assert result.rows == [(5,)]
+
+    def test_left_join_keeps_unmatched(self, db):
+        db.execute(
+            "INSERT INTO item (i_title, i_a_id) VALUES ('Orphan', 99)"
+        )
+        result = db.execute(
+            "SELECT i_title, a_lname FROM item "
+            "LEFT JOIN author ON i_a_id = a_id WHERE i_title = 'Orphan'"
+        )
+        assert result.rows == [("Orphan", None)]
+
+    def test_join_with_aliases(self, db):
+        result = db.execute(
+            "SELECT i.i_title, a.a_lname FROM item i "
+            "JOIN author a ON i.i_a_id = a.a_id WHERE a.a_id = 1 "
+            "ORDER BY i.i_cost"
+        )
+        assert [r[0] for r in result] == ["Alpha", "Gamma", "Epsilon"]
+
+    def test_three_way_join(self, db):
+        db.executescript("""
+            CREATE TABLE sale (s_id INT PRIMARY KEY, s_i_id INT);
+        """)
+        db.execute("INSERT INTO sale (s_id, s_i_id) VALUES (1, 2), (2, 2)")
+        result = db.execute(
+            "SELECT COUNT(*) FROM sale "
+            "JOIN item ON s_i_id = i_id "
+            "JOIN author ON i_a_id = a_id"
+        )
+        assert result.rows == [(2,)]
+
+    def test_ambiguous_column_rejected(self, db):
+        db.executescript("CREATE TABLE item2 (i_id INT PRIMARY KEY, x INT)")
+        db.execute("INSERT INTO item2 (i_id, x) VALUES (1, 1)")
+        with pytest.raises(ColumnError):
+            db.execute(
+                "SELECT i_id FROM item JOIN item2 ON i_a_id = x"
+            )
+
+
+class TestAggregates:
+    def test_count_star(self, db):
+        assert db.execute("SELECT COUNT(*) FROM item").rows == [(5,)]
+
+    def test_count_star_empty(self, db):
+        db.executescript("CREATE TABLE empty_t (a INT)")
+        assert db.execute("SELECT COUNT(*) FROM empty_t").rows == [(0,)]
+
+    def test_sum_avg_min_max(self, db):
+        result = db.execute(
+            "SELECT SUM(i_cost), AVG(i_cost), MIN(i_cost), MAX(i_cost) "
+            "FROM item"
+        )
+        assert result.rows == [(150.0, 30.0, 10.0, 50.0)]
+
+    def test_count_ignores_nulls(self, db):
+        db.execute("INSERT INTO item (i_title) VALUES ('NoCost')")
+        assert db.execute("SELECT COUNT(i_cost) FROM item").rows == [(5,)]
+
+    def test_sum_of_empty_is_null(self, db):
+        db.executescript("CREATE TABLE empty_t2 (a INT)")
+        assert db.execute("SELECT SUM(a) FROM empty_t2").rows == [(None,)]
+
+    def test_group_by(self, db):
+        result = db.execute(
+            "SELECT i_subject, COUNT(*), SUM(i_cost) FROM item "
+            "GROUP BY i_subject ORDER BY i_subject"
+        )
+        assert result.rows == [
+            ("ARTS", 2, 30.0), ("HISTORY", 1, 50.0), ("SPORTS", 2, 70.0),
+        ]
+
+    def test_group_by_with_having(self, db):
+        result = db.execute(
+            "SELECT i_subject, COUNT(*) AS n FROM item "
+            "GROUP BY i_subject HAVING COUNT(*) > 1 ORDER BY i_subject"
+        )
+        assert result.rows == [("ARTS", 2), ("SPORTS", 2)]
+
+    def test_group_by_order_by_aggregate_alias(self, db):
+        result = db.execute(
+            "SELECT i_a_id, SUM(i_cost) AS total FROM item "
+            "GROUP BY i_a_id ORDER BY total DESC LIMIT 1"
+        )
+        assert result.rows == [(1, 90.0)]
+
+    def test_count_distinct(self, db):
+        assert db.execute(
+            "SELECT COUNT(DISTINCT i_subject) FROM item"
+        ).rows == [(3,)]
+
+    def test_aggregate_arithmetic(self, db):
+        result = db.execute("SELECT MAX(i_cost) - MIN(i_cost) FROM item")
+        assert result.rows == [(40.0,)]
+
+
+class TestDistinct:
+    def test_distinct_rows(self, db):
+        result = db.execute("SELECT DISTINCT i_subject FROM item")
+        assert sorted(r[0] for r in result) == ["ARTS", "HISTORY", "SPORTS"]
+
+
+class TestWrites:
+    def test_insert_lastrowid(self, db):
+        result = db.execute("INSERT INTO item (i_title) VALUES ('New')")
+        assert result.lastrowid == 6
+        assert result.rowcount == 1
+
+    def test_update_by_pk(self, db):
+        result = db.execute(
+            "UPDATE item SET i_cost = i_cost + 5 WHERE i_id = 1"
+        )
+        assert result.rowcount == 1
+        assert db.execute(
+            "SELECT i_cost FROM item WHERE i_id = 1"
+        ).rows == [(15.0,)]
+
+    def test_update_many(self, db):
+        result = db.execute(
+            "UPDATE item SET i_cost = 0 WHERE i_subject = 'ARTS'"
+        )
+        assert result.rowcount == 2
+
+    def test_update_no_match(self, db):
+        assert db.execute(
+            "UPDATE item SET i_cost = 0 WHERE i_id = 999"
+        ).rowcount == 0
+
+    def test_delete(self, db):
+        assert db.execute("DELETE FROM item WHERE i_id = 1").rowcount == 1
+        assert db.execute("SELECT COUNT(*) FROM item").rows == [(4,)]
+
+    def test_delete_all(self, db):
+        assert db.execute("DELETE FROM item").rowcount == 5
+        assert db.execute("SELECT COUNT(*) FROM item").rows == [(0,)]
+
+    def test_insert_duplicate_pk_rejected(self, db):
+        with pytest.raises(IntegrityError):
+            db.execute("INSERT INTO item (i_id, i_title) VALUES (1, 'Dup')")
+
+    def test_create_table_duplicate_rejected(self, db):
+        with pytest.raises(TableError):
+            db.execute("CREATE TABLE item (x INT)")
+
+    def test_multi_row_insert(self, db):
+        result = db.execute(
+            "INSERT INTO item (i_title) VALUES ('A'), ('B'), ('C')"
+        )
+        assert result.rowcount == 3
+
+
+class TestStringNumberCoercion:
+    def test_numeric_string_compares_numerically(self, db):
+        # MySQL coerces: WHERE i_id = '3' matches the integer 3.
+        assert len(db.execute("SELECT * FROM item WHERE i_id = '3'")) == 1
+
+    def test_param_string_for_int_pk(self, db):
+        result = db.execute("SELECT i_title FROM item WHERE i_id = %s", ("2",))
+        assert result.rows == [("Beta",)]
+
+
+class TestPropertyRoundtrip:
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(
+        st.tuples(
+            st.text(alphabet="abcXYZ ", min_size=1, max_size=12),
+            st.floats(min_value=0, max_value=1e6, allow_nan=False),
+        ),
+        min_size=1, max_size=15,
+    ))
+    def test_insert_select_roundtrip(self, rows):
+        database = Database()
+        database.executescript(
+            "CREATE TABLE t (id INT PRIMARY KEY AUTO_INCREMENT, "
+            "name TEXT, value FLOAT)"
+        )
+        for name, value in rows:
+            database.execute(
+                "INSERT INTO t (name, value) VALUES (%s, %s)", (name, value)
+            )
+        result = database.execute("SELECT name, value FROM t ORDER BY id")
+        assert result.rows == rows
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.integers(min_value=-1000, max_value=1000),
+                    min_size=1, max_size=30))
+    def test_order_by_matches_sorted(self, values):
+        database = Database()
+        database.executescript(
+            "CREATE TABLE t (id INT PRIMARY KEY AUTO_INCREMENT, v INT)"
+        )
+        for v in values:
+            database.execute("INSERT INTO t (v) VALUES (%s)", (v,))
+        result = database.execute("SELECT v FROM t ORDER BY v")
+        assert [r[0] for r in result] == sorted(values)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=5),
+                    min_size=1, max_size=40))
+    def test_group_by_counts_match_python(self, values):
+        database = Database()
+        database.executescript(
+            "CREATE TABLE t (id INT PRIMARY KEY AUTO_INCREMENT, v INT)"
+        )
+        for v in values:
+            database.execute("INSERT INTO t (v) VALUES (%s)", (v,))
+        result = database.execute(
+            "SELECT v, COUNT(*) FROM t GROUP BY v ORDER BY v"
+        )
+        expected = sorted(
+            (v, values.count(v)) for v in set(values)
+        )
+        assert result.rows == expected

@@ -1,0 +1,204 @@
+"""Table lock manager tests (threaded, MyISAM-style semantics)."""
+
+import threading
+import time
+
+import pytest
+
+from repro.db.errors import LockTimeoutError
+from repro.db.locks import LockManager, LockMode, LockScope
+
+
+class TestSharedLocks:
+    def test_many_readers_concurrent(self):
+        manager = LockManager()
+        acquired = []
+        barrier = threading.Barrier(4)
+
+        def reader():
+            manager.acquire("t", LockMode.SHARED, timeout=5)
+            barrier.wait(timeout=5)  # all four hold simultaneously
+            acquired.append(1)
+            manager.release("t", LockMode.SHARED)
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10)
+        assert len(acquired) == 4
+
+    def test_release_without_hold_raises(self):
+        manager = LockManager()
+        with pytest.raises(RuntimeError):
+            manager.release("t", LockMode.SHARED)
+
+
+class TestExclusiveLocks:
+    def test_writer_excludes_writer(self):
+        manager = LockManager()
+        order = []
+        manager.acquire("t", LockMode.EXCLUSIVE)
+
+        def second_writer():
+            manager.acquire("t", LockMode.EXCLUSIVE, timeout=5)
+            order.append("second")
+            manager.release("t", LockMode.EXCLUSIVE)
+
+        thread = threading.Thread(target=second_writer)
+        thread.start()
+        time.sleep(0.05)
+        order.append("first-releases")
+        manager.release("t", LockMode.EXCLUSIVE)
+        thread.join(timeout=5)
+        assert order == ["first-releases", "second"]
+
+    def test_writer_waits_for_readers(self):
+        manager = LockManager()
+        manager.acquire("t", LockMode.SHARED)
+        writer_done = threading.Event()
+
+        def writer():
+            manager.acquire("t", LockMode.EXCLUSIVE, timeout=5)
+            writer_done.set()
+            manager.release("t", LockMode.EXCLUSIVE)
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        time.sleep(0.05)
+        assert not writer_done.is_set()
+        manager.release("t", LockMode.SHARED)
+        assert writer_done.wait(timeout=5)
+        thread.join(timeout=5)
+
+    def test_reader_waits_for_writer(self):
+        manager = LockManager()
+        manager.acquire("t", LockMode.EXCLUSIVE)
+        reader_done = threading.Event()
+
+        def reader():
+            manager.acquire("t", LockMode.SHARED, timeout=5)
+            reader_done.set()
+            manager.release("t", LockMode.SHARED)
+
+        thread = threading.Thread(target=reader)
+        thread.start()
+        time.sleep(0.05)
+        assert not reader_done.is_set()
+        manager.release("t", LockMode.EXCLUSIVE)
+        assert reader_done.wait(timeout=5)
+        thread.join(timeout=5)
+
+    def test_timeout(self):
+        manager = LockManager()
+        manager.acquire("t", LockMode.EXCLUSIVE)
+        with pytest.raises(LockTimeoutError):
+            run_in_thread_and_reraise(
+                lambda: manager.acquire("t", LockMode.SHARED, timeout=0.05)
+            )
+        manager.release("t", LockMode.EXCLUSIVE)
+
+    def test_different_tables_independent(self):
+        manager = LockManager()
+        manager.acquire("a", LockMode.EXCLUSIVE)
+        manager_acquired = threading.Event()
+
+        def other_table():
+            manager.acquire("b", LockMode.EXCLUSIVE, timeout=1)
+            manager_acquired.set()
+            manager.release("b", LockMode.EXCLUSIVE)
+
+        thread = threading.Thread(target=other_table)
+        thread.start()
+        assert manager_acquired.wait(timeout=5)
+        thread.join(timeout=5)
+        manager.release("a", LockMode.EXCLUSIVE)
+
+
+class TestFairness:
+    def test_fifo_writer_not_starved(self):
+        """A waiting writer must eventually run even under a steady
+        stream of new readers (FIFO queue)."""
+        manager = LockManager()
+        manager.acquire("t", LockMode.SHARED)
+        sequence = []
+
+        def writer():
+            manager.acquire("t", LockMode.EXCLUSIVE, timeout=10)
+            sequence.append("writer")
+            manager.release("t", LockMode.EXCLUSIVE)
+
+        writer_thread = threading.Thread(target=writer)
+        writer_thread.start()
+        time.sleep(0.05)  # let the writer queue
+
+        def late_reader():
+            manager.acquire("t", LockMode.SHARED, timeout=10)
+            sequence.append("late-reader")
+            manager.release("t", LockMode.SHARED)
+
+        reader_thread = threading.Thread(target=late_reader)
+        reader_thread.start()
+        time.sleep(0.05)
+        manager.release("t", LockMode.SHARED)  # initial reader leaves
+        writer_thread.join(timeout=5)
+        reader_thread.join(timeout=5)
+        assert sequence[0] == "writer"
+
+
+class TestLockScope:
+    def test_acquires_and_releases_all(self):
+        manager = LockManager()
+        with LockScope(manager, {"a": LockMode.SHARED, "b": LockMode.EXCLUSIVE}):
+            pass
+        # Everything released: an exclusive re-acquire succeeds instantly.
+        manager.acquire("a", LockMode.EXCLUSIVE, timeout=0.5)
+        manager.acquire("b", LockMode.EXCLUSIVE, timeout=0.5)
+        manager.release("a", LockMode.EXCLUSIVE)
+        manager.release("b", LockMode.EXCLUSIVE)
+
+    def test_releases_on_exception(self):
+        manager = LockManager()
+        with pytest.raises(RuntimeError):
+            with LockScope(manager, {"a": LockMode.EXCLUSIVE}):
+                raise RuntimeError("boom")
+        manager.acquire("a", LockMode.EXCLUSIVE, timeout=0.5)
+        manager.release("a", LockMode.EXCLUSIVE)
+
+    def test_sorted_acquisition_avoids_deadlock(self):
+        """Two scopes locking {a,b} concurrently in sorted order cannot
+        deadlock; both complete."""
+        manager = LockManager()
+        done = []
+
+        def scope_user():
+            for _ in range(20):
+                with LockScope(manager, {"a": LockMode.EXCLUSIVE,
+                                         "b": LockMode.EXCLUSIVE},
+                               timeout=10):
+                    pass
+            done.append(1)
+
+        threads = [threading.Thread(target=scope_user) for _ in range(3)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert len(done) == 3
+
+
+def run_in_thread_and_reraise(func):
+    """Run func on a thread; re-raise any exception in the caller."""
+    box = {}
+
+    def runner():
+        try:
+            func()
+        except BaseException as exc:  # noqa: BLE001 - test relay
+            box["exc"] = exc
+
+    thread = threading.Thread(target=runner)
+    thread.start()
+    thread.join(timeout=10)
+    if "exc" in box:
+        raise box["exc"]

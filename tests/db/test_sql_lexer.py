@@ -1,0 +1,110 @@
+"""SQL tokenizer tests."""
+
+import pytest
+
+from repro.db.errors import SQLSyntaxError
+from repro.db.sql.lexer import TokenKind, tokenize_sql
+
+
+def kinds(sql):
+    return [t.kind for t in tokenize_sql(sql)]
+
+
+def values(sql):
+    return [t.value for t in tokenize_sql(sql)[:-1]]  # drop END
+
+
+class TestBasics:
+    def test_keywords_uppercased(self):
+        tokens = tokenize_sql("select from where")
+        assert [t.value for t in tokens[:-1]] == ["SELECT", "FROM", "WHERE"]
+        assert all(t.kind is TokenKind.KEYWORD for t in tokens[:-1])
+
+    def test_identifiers_preserve_case(self):
+        tokens = tokenize_sql("SELECT i_Title")
+        assert tokens[1].kind is TokenKind.IDENTIFIER
+        assert tokens[1].value == "i_Title"
+
+    def test_end_token_present(self):
+        assert tokenize_sql("")[-1].kind is TokenKind.END
+
+    def test_placeholder(self):
+        tokens = tokenize_sql("WHERE a = %s")
+        assert tokens[3].kind is TokenKind.PLACEHOLDER
+
+    def test_numbers(self):
+        tokens = tokenize_sql("1 2.5 007")
+        assert [t.value for t in tokens[:-1]] == ["1", "2.5", "007"]
+        assert all(t.kind is TokenKind.NUMBER for t in tokens[:-1])
+
+    def test_number_then_dot_identifier(self):
+        # "1.x" should not swallow the dot into the number... but our
+        # subset never needs it; ensure "o.id" works.
+        tokens = tokenize_sql("o.id")
+        assert [t.value for t in tokens[:-1]] == ["o", ".", "id"]
+
+
+class TestStrings:
+    def test_single_quoted(self):
+        tokens = tokenize_sql("'hello world'")
+        assert tokens[0].kind is TokenKind.STRING
+        assert tokens[0].value == "hello world"
+
+    def test_double_quoted(self):
+        assert tokenize_sql('"x"')[0].value == "x"
+
+    def test_doubled_quote_escape(self):
+        assert tokenize_sql("'it''s'")[0].value == "it's"
+
+    def test_unterminated_rejected(self):
+        with pytest.raises(SQLSyntaxError):
+            tokenize_sql("'oops")
+
+    def test_string_with_semicolon(self):
+        assert tokenize_sql("'a;b'")[0].value == "a;b"
+
+
+class TestOperators:
+    @pytest.mark.parametrize("op", ["=", "<", ">", "+", "-", "*", "/"])
+    def test_single_char(self, op):
+        token = tokenize_sql(op)[0]
+        assert token.kind is TokenKind.OPERATOR
+        assert token.value == op
+
+    @pytest.mark.parametrize("op", ["<>", "!=", "<=", ">="])
+    def test_two_char(self, op):
+        token = tokenize_sql(f"a {op} b")[1]
+        assert token.value == op
+
+    def test_lone_bang_rejected(self):
+        with pytest.raises(SQLSyntaxError):
+            tokenize_sql("a ! b")
+
+    def test_unexpected_character_rejected(self):
+        with pytest.raises(SQLSyntaxError):
+            tokenize_sql("a @ b")
+
+
+class TestIdentifiers:
+    def test_backtick_quoted(self):
+        tokens = tokenize_sql("`select`")
+        assert tokens[0].kind is TokenKind.IDENTIFIER
+        assert tokens[0].value == "select"
+
+    def test_unterminated_backtick(self):
+        with pytest.raises(SQLSyntaxError):
+            tokenize_sql("`oops")
+
+    def test_underscore_names(self):
+        assert tokenize_sql("order_line")[0].value == "order_line"
+
+
+class TestRealStatements:
+    def test_paper_query(self):
+        sql = "SELECT title, heading FROM page WHERE pageid=%s"
+        tokens = tokenize_sql(sql)
+        assert tokens[-1].kind is TokenKind.END
+        assert values(sql) == [
+            "SELECT", "title", ",", "heading", "FROM", "page",
+            "WHERE", "pageid", "=", "%s",
+        ]

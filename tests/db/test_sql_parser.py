@@ -1,0 +1,279 @@
+"""SQL parser tests: AST shapes for the supported subset."""
+
+import pytest
+
+from repro.db.errors import SQLSyntaxError
+from repro.db.sql.ast import (
+    Between,
+    BinaryOp,
+    ColumnRef,
+    CreateIndex,
+    CreateTable,
+    Delete,
+    FuncCall,
+    InList,
+    Insert,
+    IsNull,
+    Like,
+    Literal,
+    Placeholder,
+    Select,
+    Update,
+)
+from repro.db.sql.parser import parse_sql
+
+
+class TestSelect:
+    def test_star(self):
+        stmt = parse_sql("SELECT * FROM item")
+        assert isinstance(stmt, Select)
+        assert stmt.items[0].star
+        assert stmt.table == "item"
+
+    def test_columns_and_aliases(self):
+        stmt = parse_sql("SELECT a, b AS bee, c cee FROM t")
+        assert stmt.items[0].expression == ColumnRef("a")
+        assert stmt.items[1].alias == "bee"
+        assert stmt.items[2].alias == "cee"
+
+    def test_qualified_star(self):
+        stmt = parse_sql("SELECT t.* FROM item t")
+        assert stmt.items[0].star
+        assert stmt.items[0].star_table == "t"
+
+    def test_table_alias(self):
+        stmt = parse_sql("SELECT * FROM item AS i")
+        assert stmt.alias == "i"
+
+    def test_where_placeholder(self):
+        stmt = parse_sql("SELECT a FROM t WHERE b = %s")
+        assert stmt.where == BinaryOp("=", ColumnRef("b"), Placeholder(0))
+
+    def test_placeholders_numbered_in_order(self):
+        stmt = parse_sql("SELECT a FROM t WHERE b = %s AND c = %s")
+        assert stmt.where.right == BinaryOp("=", ColumnRef("c"), Placeholder(1))
+
+    def test_join(self):
+        stmt = parse_sql(
+            "SELECT * FROM item JOIN author ON i_a_id = a_id"
+        )
+        join = stmt.joins[0]
+        assert join.table == "author"
+        assert join.left == ColumnRef("i_a_id")
+        assert join.right == ColumnRef("a_id")
+        assert not join.outer
+
+    def test_left_join(self):
+        stmt = parse_sql("SELECT * FROM a LEFT JOIN b ON a.x = b.y")
+        assert stmt.joins[0].outer
+
+    def test_multiple_joins_with_aliases(self):
+        stmt = parse_sql(
+            "SELECT * FROM order_line ol "
+            "JOIN orders o ON ol.ol_o_id = o.o_id "
+            "JOIN item i ON ol.ol_i_id = i.i_id"
+        )
+        assert [j.alias for j in stmt.joins] == ["o", "i"]
+
+    def test_non_equi_join_rejected(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_sql("SELECT * FROM a JOIN b ON a.x < b.y")
+
+    def test_group_by_and_having(self):
+        stmt = parse_sql(
+            "SELECT a, COUNT(*) FROM t GROUP BY a HAVING COUNT(*) > 2"
+        )
+        assert stmt.group_by == (ColumnRef("a"),)
+        assert stmt.having is not None
+
+    def test_order_by_directions(self):
+        stmt = parse_sql("SELECT a FROM t ORDER BY a DESC, b, c ASC")
+        assert [o.ascending for o in stmt.order_by] == [False, True, True]
+
+    def test_limit_offset(self):
+        stmt = parse_sql("SELECT a FROM t LIMIT 5 OFFSET 10")
+        assert stmt.limit == Literal(5)
+        assert stmt.offset == Literal(10)
+
+    def test_mysql_limit_comma(self):
+        stmt = parse_sql("SELECT a FROM t LIMIT 10, 5")
+        assert stmt.limit == Literal(5)
+        assert stmt.offset == Literal(10)
+
+    def test_distinct(self):
+        assert parse_sql("SELECT DISTINCT a FROM t").distinct
+
+    def test_select_without_from(self):
+        stmt = parse_sql("SELECT 1")
+        assert stmt.table is None
+        assert stmt.items[0].expression == Literal(1)
+
+    def test_aggregates(self):
+        stmt = parse_sql("SELECT COUNT(*), SUM(x), AVG(x), MIN(x), MAX(x) FROM t")
+        count = stmt.items[0].expression
+        assert isinstance(count, FuncCall) and count.star
+        assert stmt.items[1].expression == FuncCall("SUM", ColumnRef("x"))
+
+    def test_count_distinct(self):
+        stmt = parse_sql("SELECT COUNT(DISTINCT x) FROM t")
+        assert stmt.items[0].expression.distinct
+
+    def test_sum_star_rejected(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_sql("SELECT SUM(*) FROM t")
+
+
+class TestExpressions:
+    def where(self, clause):
+        return parse_sql(f"SELECT a FROM t WHERE {clause}").where
+
+    def test_and_or_precedence(self):
+        expr = self.where("a = 1 OR b = 2 AND c = 3")
+        assert isinstance(expr, BinaryOp) and expr.op == "OR"
+        assert expr.right.op == "AND"
+
+    def test_parentheses(self):
+        expr = self.where("(a = 1 OR b = 2) AND c = 3")
+        assert expr.op == "AND"
+        assert expr.left.op == "OR"
+
+    def test_not(self):
+        expr = self.where("NOT a = 1")
+        assert expr.op == "NOT"
+
+    def test_in_list(self):
+        expr = self.where("a IN (1, 2, 3)")
+        assert isinstance(expr, InList)
+        assert len(expr.options) == 3
+
+    def test_not_in(self):
+        expr = self.where("a NOT IN (1)")
+        assert isinstance(expr, InList) and expr.negated
+
+    def test_like(self):
+        expr = self.where("a LIKE '%x%'")
+        assert isinstance(expr, Like)
+
+    def test_not_like(self):
+        assert self.where("a NOT LIKE 'x'").negated
+
+    def test_between(self):
+        expr = self.where("a BETWEEN 1 AND 5")
+        assert isinstance(expr, Between)
+        assert expr.low == Literal(1)
+        assert expr.high == Literal(5)
+
+    def test_is_null_and_not_null(self):
+        assert isinstance(self.where("a IS NULL"), IsNull)
+        expr = self.where("a IS NOT NULL")
+        assert isinstance(expr, IsNull) and expr.negated
+
+    def test_arithmetic_precedence(self):
+        expr = self.where("a = 1 + 2 * 3")
+        add = expr.right
+        assert add.op == "+"
+        assert add.right.op == "*"
+
+    def test_unary_minus(self):
+        expr = self.where("a = -5")
+        assert expr.right.op == "-"
+
+    def test_bang_equals_normalised(self):
+        assert self.where("a != 1").op == "<>"
+
+    def test_null_true_false_literals(self):
+        assert self.where("a = NULL").right == Literal(None)
+        assert self.where("a = TRUE").right == Literal(1)
+        assert self.where("a = FALSE").right == Literal(0)
+
+    def test_string_literal(self):
+        assert self.where("a = 'x'").right == Literal("x")
+
+
+class TestInsert:
+    def test_basic(self):
+        stmt = parse_sql("INSERT INTO t (a, b) VALUES (1, 'x')")
+        assert isinstance(stmt, Insert)
+        assert stmt.columns == ("a", "b")
+        assert stmt.rows == ((Literal(1), Literal("x")),)
+
+    def test_multi_row(self):
+        stmt = parse_sql("INSERT INTO t (a) VALUES (1), (2), (3)")
+        assert len(stmt.rows) == 3
+
+    def test_without_column_list(self):
+        stmt = parse_sql("INSERT INTO t VALUES (1, 2)")
+        assert stmt.columns == ()
+
+    def test_placeholders(self):
+        stmt = parse_sql("INSERT INTO t (a, b) VALUES (%s, %s)")
+        assert stmt.rows[0] == (Placeholder(0), Placeholder(1))
+
+    def test_value_count_mismatch_rejected(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_sql("INSERT INTO t (a, b) VALUES (1)")
+
+
+class TestUpdateDelete:
+    def test_update(self):
+        stmt = parse_sql("UPDATE t SET a = 1, b = b + 1 WHERE c = %s")
+        assert isinstance(stmt, Update)
+        assert stmt.assignments[0] == ("a", Literal(1))
+        assert stmt.assignments[1][1].op == "+"
+        assert stmt.where is not None
+
+    def test_update_without_where(self):
+        assert parse_sql("UPDATE t SET a = 1").where is None
+
+    def test_delete(self):
+        stmt = parse_sql("DELETE FROM t WHERE a = 1")
+        assert isinstance(stmt, Delete)
+
+    def test_delete_all(self):
+        assert parse_sql("DELETE FROM t").where is None
+
+
+class TestCreate:
+    def test_create_table(self):
+        stmt = parse_sql(
+            "CREATE TABLE t (id INT PRIMARY KEY AUTO_INCREMENT, "
+            "name VARCHAR(60) NOT NULL, cost FLOAT)"
+        )
+        assert isinstance(stmt, CreateTable)
+        id_col, name_col, cost_col = stmt.columns
+        assert id_col.primary_key and id_col.auto_increment
+        assert name_col.type == "VARCHAR(60)" and not name_col.nullable
+        assert cost_col.nullable
+
+    def test_decimal_with_two_args(self):
+        stmt = parse_sql("CREATE TABLE t (x DECIMAL(10,2))")
+        assert stmt.columns[0].type == "DECIMAL(10,2)"
+
+    def test_create_index(self):
+        stmt = parse_sql("CREATE INDEX idx ON t (col)")
+        assert stmt == CreateIndex("idx", "t", "col")
+
+
+class TestErrors:
+    @pytest.mark.parametrize("sql", [
+        "",
+        "SELEKT * FROM t",
+        "SELECT FROM t",
+        "SELECT * FROM",
+        "SELECT a FROM t WHERE",
+        "SELECT a FROM t trailing garbage somehow (",
+        "INSERT t VALUES (1)",
+        "UPDATE t a = 1",
+        "CREATE t",
+        "SELECT a FROM t WHERE a ==",
+    ])
+    def test_malformed_rejected(self, sql):
+        with pytest.raises(SQLSyntaxError):
+            parse_sql(sql)
+
+    def test_trailing_semicolon_ok(self):
+        assert isinstance(parse_sql("SELECT 1;"), Select)
+
+    def test_two_statements_rejected(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_sql("SELECT 1; SELECT 2")

@@ -1,0 +1,109 @@
+"""IN (SELECT ...) subquery tests."""
+
+import pytest
+
+from repro.db.engine import Database
+from repro.db.errors import ProgrammingError
+
+
+@pytest.fixture()
+def db():
+    database = Database()
+    database.executescript("""
+        CREATE TABLE item (i_id INT PRIMARY KEY, subj VARCHAR(10), cost FLOAT);
+        CREATE TABLE sale (s_id INT PRIMARY KEY AUTO_INCREMENT, s_i_id INT);
+    """)
+    rows = [(1, "A", 10.0), (2, "B", 20.0), (3, "A", 30.0), (4, "C", 40.0)]
+    for i_id, subj, cost in rows:
+        database.execute(
+            "INSERT INTO item (i_id, subj, cost) VALUES (%s, %s, %s)",
+            (i_id, subj, cost),
+        )
+    database.execute("INSERT INTO sale (s_i_id) VALUES (1), (3), (3)")
+    return database
+
+
+class TestInSubquery:
+    def test_membership(self, db):
+        result = db.execute(
+            "SELECT i_id FROM item WHERE i_id IN (SELECT s_i_id FROM sale) "
+            "ORDER BY i_id"
+        )
+        assert result.rows == [(1,), (3,)]
+
+    def test_not_in(self, db):
+        result = db.execute(
+            "SELECT i_id FROM item "
+            "WHERE i_id NOT IN (SELECT s_i_id FROM sale) ORDER BY i_id"
+        )
+        assert result.rows == [(2,), (4,)]
+
+    def test_subquery_with_where_and_params(self, db):
+        result = db.execute(
+            "SELECT COUNT(*) FROM sale WHERE s_i_id IN "
+            "(SELECT i_id FROM item WHERE subj = %s)",
+            ("A",),
+        )
+        assert result.rows == [(3,)]
+
+    def test_placeholders_split_across_levels(self, db):
+        result = db.execute(
+            "SELECT i_id FROM item WHERE cost > %s AND i_id IN "
+            "(SELECT s_i_id FROM sale WHERE s_id >= %s)",
+            (15.0, 1),
+        )
+        assert result.rows == [(3,)]
+
+    def test_empty_subquery_matches_nothing(self, db):
+        result = db.execute(
+            "SELECT COUNT(*) FROM item WHERE i_id IN "
+            "(SELECT s_i_id FROM sale WHERE s_id > 999)"
+        )
+        assert result.rows == [(0,)]
+
+    def test_null_operand_never_matches(self, db):
+        db.execute("INSERT INTO item (i_id, subj) VALUES (9, 'Z')")
+        result = db.execute(
+            "SELECT COUNT(*) FROM item WHERE cost IN (SELECT cost FROM item)"
+        )
+        assert result.rows == [(4,)]  # the NULL-cost row excluded
+
+    def test_subquery_with_aggregate(self, db):
+        result = db.execute(
+            "SELECT i_id FROM item WHERE i_id IN "
+            "(SELECT MAX(s_i_id) FROM sale)"
+        )
+        assert result.rows == [(3,)]
+
+    def test_multi_column_subquery_rejected(self, db):
+        with pytest.raises(ProgrammingError):
+            db.execute(
+                "SELECT i_id FROM item WHERE i_id IN "
+                "(SELECT s_id, s_i_id FROM sale)"
+            )
+
+    def test_subquery_in_update_where(self, db):
+        db.execute(
+            "UPDATE item SET cost = 0 WHERE i_id IN "
+            "(SELECT s_i_id FROM sale)"
+        )
+        result = db.execute(
+            "SELECT COUNT(*) FROM item WHERE cost = 0"
+        )
+        assert result.rows == [(2,)]
+
+    def test_subquery_in_delete_where(self, db):
+        db.execute(
+            "DELETE FROM item WHERE i_id NOT IN (SELECT s_i_id FROM sale)"
+        )
+        assert db.execute("SELECT COUNT(*) FROM item").rows == [(2,)]
+
+    def test_tpcw_style_related_items_query(self, db):
+        """The real TPC-W admin-confirm shape: items bought in orders
+        that also contained the target item."""
+        result = db.execute(
+            "SELECT DISTINCT subj FROM item WHERE i_id IN "
+            "(SELECT s_i_id FROM sale WHERE s_i_id <> %s) ORDER BY subj",
+            (1,),
+        )
+        assert result.rows == [("A",)]

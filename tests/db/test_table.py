@@ -1,0 +1,199 @@
+"""Storage-layer tests: columns, rows, indexes."""
+
+import pytest
+
+from repro.db.errors import ColumnError, IntegrityError, TableError
+from repro.db.table import Column, HashIndex, Table
+
+
+def make_table():
+    return Table("item", [
+        Column("i_id", "INT", primary_key=True, auto_increment=True),
+        Column("i_title", "VARCHAR(60)"),
+        Column("i_cost", "FLOAT"),
+        Column("i_stock", "INT", nullable=True),
+    ])
+
+
+class TestColumn:
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(TableError):
+            Column("x", "BLOB")
+
+    def test_auto_increment_requires_integer(self):
+        with pytest.raises(TableError):
+            Column("x", "VARCHAR(10)", auto_increment=True)
+
+    def test_base_type_strips_size(self):
+        assert Column("x", "VARCHAR(60)").base_type == "VARCHAR"
+
+    def test_check_int_value(self):
+        assert Column("x", "INT").check_value(5) == 5
+
+    def test_check_rejects_wrong_type(self):
+        with pytest.raises(IntegrityError):
+            Column("x", "INT").check_value([1])
+
+    def test_numeric_string_coerced_for_int(self):
+        assert Column("x", "INT").check_value("42") == 42
+
+    def test_float_accepts_int(self):
+        assert Column("x", "FLOAT").check_value(2) == 2
+
+    def test_text_rejects_number(self):
+        with pytest.raises(IntegrityError):
+            Column("x", "TEXT").check_value(42)
+
+    def test_not_null_enforced(self):
+        with pytest.raises(IntegrityError):
+            Column("x", "INT", nullable=False).check_value(None)
+
+    def test_nullable_accepts_none(self):
+        assert Column("x", "INT").check_value(None) is None
+
+    def test_bool_into_int_column(self):
+        assert Column("x", "INT").check_value(True) == 1
+
+    def test_bool_into_text_rejected(self):
+        with pytest.raises(IntegrityError):
+            Column("x", "TEXT").check_value(True)
+
+
+class TestTableSchema:
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(TableError):
+            Table("t", [Column("a", "INT"), Column("a", "INT")])
+
+    def test_empty_columns_rejected(self):
+        with pytest.raises(TableError):
+            Table("t", [])
+
+    def test_multiple_primary_keys_rejected(self):
+        with pytest.raises(TableError):
+            Table("t", [
+                Column("a", "INT", primary_key=True),
+                Column("b", "INT", primary_key=True),
+            ])
+
+    def test_primary_key_auto_indexed(self):
+        table = make_table()
+        assert table.index_on("i_id") is not None
+
+    def test_column_lookup(self):
+        table = make_table()
+        assert table.column("i_title").type == "VARCHAR(60)"
+        with pytest.raises(ColumnError):
+            table.column("nope")
+
+
+class TestInsert:
+    def test_auto_increment_assigns_sequential_ids(self):
+        table = make_table()
+        first = table.insert({"i_title": "A", "i_cost": 1.0})
+        second = table.insert({"i_title": "B", "i_cost": 2.0})
+        assert (first, second) == (1, 2)
+
+    def test_explicit_pk_respected_and_counter_bumped(self):
+        table = make_table()
+        table.insert({"i_id": 10, "i_title": "A", "i_cost": 1.0})
+        assert table.insert({"i_title": "B", "i_cost": 1.0}) == 11
+
+    def test_duplicate_pk_rejected(self):
+        table = make_table()
+        table.insert({"i_id": 1, "i_title": "A", "i_cost": 1.0})
+        with pytest.raises(IntegrityError):
+            table.insert({"i_id": 1, "i_title": "B", "i_cost": 1.0})
+
+    def test_unknown_column_rejected(self):
+        table = make_table()
+        with pytest.raises(ColumnError):
+            table.insert({"bogus": 1})
+
+    def test_missing_columns_default_to_null(self):
+        table = make_table()
+        row_id = table.insert({"i_title": "A", "i_cost": 1.0})
+        row = next(r for r in table.rows.values() if r["i_id"] == row_id)
+        assert row["i_stock"] is None
+
+    def test_len(self):
+        table = make_table()
+        assert len(table) == 0
+        table.insert({"i_title": "A", "i_cost": 1.0})
+        assert len(table) == 1
+
+
+class TestIndexMaintenance:
+    def test_create_index_backfills(self):
+        table = make_table()
+        table.insert({"i_title": "A", "i_cost": 1.0})
+        index = table.create_index("idx_title", "i_title")
+        assert len(index.lookup("A")) == 1
+
+    def test_duplicate_index_name_rejected(self):
+        table = make_table()
+        table.create_index("idx", "i_title")
+        with pytest.raises(TableError):
+            table.create_index("idx", "i_cost")
+
+    def test_index_on_unknown_column_rejected(self):
+        with pytest.raises(ColumnError):
+            make_table().create_index("idx", "nope")
+
+    def test_insert_updates_indexes(self):
+        table = make_table()
+        table.create_index("idx_title", "i_title")
+        table.insert({"i_title": "A", "i_cost": 1.0})
+        table.insert({"i_title": "A", "i_cost": 2.0})
+        assert len(table.index_on("i_title").lookup("A")) == 2
+
+    def test_update_moves_index_entry(self):
+        table = make_table()
+        table.create_index("idx_title", "i_title")
+        table.insert({"i_title": "A", "i_cost": 1.0})
+        row_id = next(iter(table.rows))
+        table.update_row(row_id, {"i_title": "B"})
+        index = table.index_on("i_title")
+        assert not index.lookup("A")
+        assert len(index.lookup("B")) == 1
+
+    def test_delete_removes_index_entry(self):
+        table = make_table()
+        table.insert({"i_title": "A", "i_cost": 1.0})
+        row_id = next(iter(table.rows))
+        table.delete_row(row_id)
+        assert not table.index_on("i_id").lookup(1)
+        assert len(table) == 0
+
+    def test_update_pk_to_duplicate_rejected(self):
+        table = make_table()
+        table.insert({"i_id": 1, "i_title": "A", "i_cost": 1.0})
+        table.insert({"i_id": 2, "i_title": "B", "i_cost": 1.0})
+        row_id = next(
+            rid for rid, r in table.rows.items() if r["i_id"] == 2
+        )
+        with pytest.raises(IntegrityError):
+            table.update_row(row_id, {"i_id": 1})
+
+
+class TestHashIndex:
+    def test_add_remove(self):
+        index = HashIndex("i", "c")
+        index.add("v", 1)
+        index.add("v", 2)
+        index.remove("v", 1)
+        assert index.lookup("v") == {2}
+        index.remove("v", 2)
+        assert index.lookup("v") == set()
+        assert len(index) == 0
+
+    def test_lookup_returns_copy(self):
+        index = HashIndex("i", "c")
+        index.add("v", 1)
+        result = index.lookup("v")
+        result.add(99)
+        assert index.lookup("v") == {1}
+
+    def test_remove_missing_is_noop(self):
+        index = HashIndex("i", "c")
+        index.remove("nope", 1)
+        assert len(index) == 0

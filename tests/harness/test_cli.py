@@ -1,0 +1,44 @@
+"""Harness CLI tests (python -m repro.harness)."""
+
+import json
+import os
+
+from repro.harness.__main__ import main
+
+
+class TestCli:
+    def test_quick_run_with_exports(self, tmp_path, capsys):
+        json_path = str(tmp_path / "results.json")
+        figures_dir = str(tmp_path / "figs")
+        code = main([
+            "--clients", "15",
+            "--export-json", json_path,
+            "--export-figures", figures_dir,
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table 3" in out
+        assert "matches paper exactly" in out
+        assert os.path.isfile(json_path)
+        with open(json_path, encoding="utf-8") as f:
+            document = json.load(f)
+        assert document["config"]["clients"] == 15
+        assert len(os.listdir(figures_dir)) == 7
+
+    def test_seed_changes_results(self, capsys):
+        main(["--clients", "10", "--seed", "1"])
+        first = capsys.readouterr().out
+        main(["--clients", "10", "--seed", "2"])
+        second = capsys.readouterr().out
+        assert first != second
+
+    def test_same_seed_reproduces(self, capsys):
+        main(["--clients", "10", "--seed", "5"])
+        first = capsys.readouterr().out
+        main(["--clients", "10", "--seed", "5"])
+        second = capsys.readouterr().out
+        # Strip the wall-time line (the only nondeterministic output).
+        strip = lambda text: "\n".join(
+            line for line in text.splitlines() if "wall time" not in line
+        )
+        assert strip(first) == strip(second)

@@ -1,0 +1,143 @@
+"""Harness tests: table/figure extraction and formatting."""
+
+import pytest
+
+from repro.harness.experiments import (
+    PAPER_TABLE2_ROWS,
+    PAPER_TABLE3,
+    PAPER_TABLE4,
+    ExperimentRunner,
+    run_table2,
+)
+from repro.harness.report import (
+    format_figure7,
+    format_figure8,
+    format_figure9,
+    format_figure10,
+    format_table2,
+    format_table3,
+    format_table4,
+    full_report,
+)
+from repro.sim.workload import WorkloadConfig
+from repro.tpcw.mix import PAPER_PAGE_NAMES
+
+
+@pytest.fixture(scope="module")
+def runner():
+    """One memoized baseline/staged pair at reduced (but loaded) scale."""
+    config = WorkloadConfig.quick(
+        clients=60, ramp_up=30, measure=240, cool_down=20,
+        baseline_workers=20, general_pool=24, lengthy_pool=6,
+        minimum_reserve=2, maximum_reserve=4, db_cores=60,
+    )
+    return ExperimentRunner(config)
+
+
+class TestTable2:
+    def test_reproduces_paper_exactly(self):
+        result = run_table2()
+        assert result.matches_paper
+        assert result.rows == PAPER_TABLE2_ROWS
+
+    def test_format_mentions_match(self):
+        text = format_table2(run_table2())
+        assert "matches paper exactly" in text
+        assert "+6" in text  # the 3s row's delta
+
+    def test_custom_trace(self):
+        result = run_table2(minimum=5, tspare_trace=[10, 3])
+        assert len(result.rows) == 2
+        assert not result.matches_paper
+
+
+class TestRunsMemoized:
+    def test_results_cached(self, runner):
+        assert runner.results("baseline") is runner.results("baseline")
+        assert runner.baseline is runner.results("baseline")
+
+    def test_unknown_kind_rejected(self, runner):
+        with pytest.raises(ValueError):
+            runner.results("quantum")
+
+
+class TestTable3(object):
+    def test_rows_for_all_pages(self, runner):
+        rows = runner.table3()
+        assert set(rows) == set(PAPER_PAGE_NAMES.values())
+        for unmodified, modified in rows.values():
+            assert unmodified >= 0 and modified >= 0
+
+    def test_paper_reference_complete(self):
+        assert set(PAPER_TABLE3) == set(PAPER_PAGE_NAMES.values())
+
+    def test_format(self, runner):
+        text = format_table3(runner.table3())
+        assert "TPC-W home interaction" in text
+        assert "paper unmod" in text
+
+
+class TestTable4:
+    def test_counts_positive(self, runner):
+        rows = runner.table4()
+        assert rows["TPC-W home interaction"][0] > 0
+        assert rows["TPC-W home interaction"][1] > 0
+
+    def test_gain_computed(self, runner):
+        gain = runner.throughput_gain_percent()
+        assert isinstance(gain, float)
+
+    def test_paper_reference_totals(self):
+        unmodified = sum(v[0] for v in PAPER_TABLE4.values())
+        modified = sum(v[1] for v in PAPER_TABLE4.values())
+        assert (unmodified, modified) == (66911, 87821)
+        # The totals reproduce the paper's headline +31.3% exactly.
+        assert 100 * (modified / unmodified - 1) == pytest.approx(31.3,
+                                                                  abs=0.05)
+
+    def test_format_includes_total_and_gain(self, runner):
+        text = format_table4(runner.table4(), gain_percent=31.3)
+        assert "TOTAL" in text
+        assert "+31.3%" in text
+
+
+class TestFigures:
+    def test_figure7_series(self, runner):
+        series = runner.figure7()
+        assert len(series) > 100  # 1 Hz samples over the run
+        assert "Figure 7" in format_figure7(series)
+
+    def test_figure8_two_series(self, runner):
+        general, lengthy = runner.figure8()
+        assert len(general) == len(lengthy)
+        text = format_figure8(general, lengthy)
+        assert "8(a)" in text and "8(b)" in text
+
+    def test_figure9_buckets(self, runner):
+        unmodified, modified = runner.figure9(bucket_seconds=60.0)
+        assert sum(modified.values) > 0
+        assert "Figure 9" in format_figure9(unmodified, modified)
+
+    def test_figure10_all_classes(self, runner):
+        by_class = runner.figure10()
+        assert set(by_class) == {"static", "dynamic", "quick", "lengthy"}
+        text = format_figure10(by_class)
+        for marker in ("10(a)", "10(b)", "10(c)", "10(d)"):
+            assert marker in text
+
+    def test_figure9_totals_are_all_requests(self, runner):
+        """Figure 9 counts HTTP requests (pages + images), so its total
+        must be at least the interaction count."""
+        _, modified = runner.figure9()
+        assert sum(modified.values) >= runner.staged.total_completions()
+
+
+class TestShapeReport:
+    def test_keys(self, runner):
+        report = runner.shape_report()
+        assert {"pages_improved", "throughput_gain_percent",
+                "admin_response_slower", "baseline_queue_peak"} <= set(report)
+
+    def test_full_report_renders(self, runner):
+        text = full_report(runner)
+        assert "Table 3" in text and "Figure 10" in text

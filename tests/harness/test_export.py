@@ -1,0 +1,87 @@
+"""Export tests: JSON and .dat figure files."""
+
+import json
+import os
+
+import pytest
+
+from repro.harness.experiments import ExperimentRunner
+from repro.harness.export import export_figures, export_json, results_document
+from repro.sim.workload import WorkloadConfig
+
+
+@pytest.fixture(scope="module")
+def runner():
+    config = WorkloadConfig.quick(
+        clients=30, ramp_up=15, measure=120, cool_down=10,
+        baseline_workers=10, general_pool=12, lengthy_pool=3,
+        minimum_reserve=2, maximum_reserve=4, db_cores=30,
+    )
+    return ExperimentRunner(config)
+
+
+class TestResultsDocument:
+    def test_document_structure(self, runner):
+        document = results_document(runner)
+        assert document["table2"]["matches_paper"] is True
+        assert set(document["figure10"]) == {
+            "static", "dynamic", "quick", "lengthy",
+        }
+        assert "throughput_gain_percent" in document
+        assert document["config"]["clients"] == 30
+
+    def test_table3_includes_paper_reference(self, runner):
+        document = results_document(runner)
+        home = document["table3"]["TPC-W home interaction"]
+        assert home["paper"] == [2.54, 0.03] or home["paper"] == (2.54, 0.03)
+        assert home["unmodified"] > 0
+
+    def test_document_is_json_serialisable(self, runner):
+        text = json.dumps(results_document(runner))
+        assert "figure7" in text
+
+
+class TestExportJson:
+    def test_writes_valid_json(self, runner, tmp_path):
+        path = export_json(runner, str(tmp_path / "results.json"))
+        with open(path, encoding="utf-8") as f:
+            loaded = json.load(f)
+        assert loaded["table2"]["matches_paper"] is True
+
+
+class TestExportFigures:
+    def test_writes_all_figures(self, runner, tmp_path):
+        written = export_figures(runner, str(tmp_path / "figs"))
+        names = {os.path.basename(path) for path in written}
+        assert names == {
+            "fig7_queue_unmodified.dat",
+            "fig8_queues_modified.dat",
+            "fig9_throughput.dat",
+            "fig10_static.dat",
+            "fig10_dynamic.dat",
+            "fig10_quick.dat",
+            "fig10_lengthy.dat",
+        }
+        for path in written:
+            assert os.path.isfile(path)
+
+    def test_dat_format(self, runner, tmp_path):
+        written = export_figures(runner, str(tmp_path / "figs"))
+        fig9 = next(p for p in written
+                    if os.path.basename(p) == "fig9_throughput.dat")
+        with open(fig9, encoding="utf-8") as f:
+            lines = f.read().splitlines()
+        assert lines[0].startswith("# time_s")
+        first_row = lines[1].split()
+        assert len(first_row) == 3
+        float(first_row[0])  # parses
+
+    def test_fig8_columns_aligned(self, runner, tmp_path):
+        written = export_figures(runner, str(tmp_path / "figs"))
+        fig8 = next(p for p in written
+                    if os.path.basename(p) == "fig8_queues_modified.dat")
+        with open(fig8, encoding="utf-8") as f:
+            data_lines = [l for l in f.read().splitlines() if not l.startswith("#")]
+        # One row per 1 Hz sample over the whole run.
+        assert len(data_lines) > 100
+        assert all(len(line.split()) == 3 for line in data_lines)

@@ -1,0 +1,56 @@
+"""Report formatting tests (sparklines, table renderers)."""
+
+from repro.harness.report import _sparkline, format_series, format_table3
+from repro.util.timeseries import TimeSeries
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert _sparkline([]) == "(no samples)"
+
+    def test_constant_series_renders_uniform_glyphs(self):
+        line = _sparkline([5.0, 5.0, 5.0])
+        assert len(set(line)) == 1
+        assert len(line) == 3
+
+    def test_all_zero_series(self):
+        line = _sparkline([0.0, 0.0])
+        assert line == "  "  # lowest glyph is a space
+
+    def test_peak_gets_the_tallest_glyph(self):
+        line = _sparkline([0.0, 1.0, 10.0])
+        assert line[2] == "█"
+
+    def test_downsampling_preserves_peaks(self):
+        # A single spike in a long series must survive downsampling
+        # (buckets aggregate by max, not mean).
+        values = [0.0] * 300
+        values[137] = 99.0
+        line = _sparkline(values, width=60)
+        assert len(line) == 60
+        assert "█" in line
+
+    def test_short_series_not_padded(self):
+        assert len(_sparkline([1.0, 2.0], width=60)) == 2
+
+
+class TestFormatSeries:
+    def test_summary_line(self):
+        series = TimeSeries("q")
+        for t, v in enumerate([1.0, 3.0, 2.0]):
+            series.append(t, v)
+        text = format_series(series, "queue", unit="")
+        assert "min 1" in text
+        assert "max 3" in text
+        assert "(3 samples)" in text
+
+    def test_empty_series(self):
+        assert "(no samples)" in format_series(TimeSeries(), "empty")
+
+
+class TestFormatTable3WithoutPaper:
+    def test_paper_columns_omitted(self):
+        rows = {"TPC-W home interaction": (2.0, 0.1)}
+        text = format_table3(rows, include_paper=False)
+        assert "paper" not in text
+        assert "2.00" in text and "0.10" in text

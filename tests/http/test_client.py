@@ -1,0 +1,47 @@
+"""HTTP client response parsing tests (socket paths are covered by the
+server integration tests)."""
+
+import pytest
+
+from repro.http.client import parse_response_bytes
+from repro.http.errors import BadRequestError
+
+
+class TestParseResponseBytes:
+    def test_basic(self):
+        raw = (
+            b"HTTP/1.1 200 OK\r\n"
+            b"Content-Type: text/html\r\n"
+            b"Content-Length: 5\r\n\r\n"
+            b"hello"
+        )
+        response = parse_response_bytes(raw)
+        assert response.status == 200
+        assert response.reason == "OK"
+        assert response.headers["content-type"] == "text/html"
+        assert response.body == b"hello"
+        assert response.text == "hello"
+
+    def test_body_truncated_to_content_length(self):
+        raw = (
+            b"HTTP/1.1 200 OK\r\nContent-Length: 3\r\n\r\nabcdef"
+        )
+        assert parse_response_bytes(raw).body == b"abc"
+
+    def test_no_content_length_takes_rest(self):
+        raw = b"HTTP/1.1 200 OK\r\n\r\neverything"
+        assert parse_response_bytes(raw).body == b"everything"
+
+    def test_error_status(self):
+        raw = b"HTTP/1.1 503 Service Unavailable\r\n\r\n"
+        response = parse_response_bytes(raw)
+        assert response.status == 503
+        assert response.reason == "Service Unavailable"
+
+    def test_missing_terminator_rejected(self):
+        with pytest.raises(BadRequestError):
+            parse_response_bytes(b"HTTP/1.1 200 OK\r\n")
+
+    def test_malformed_status_line_rejected(self):
+        with pytest.raises(BadRequestError):
+            parse_response_bytes(b"garbage\r\n\r\n")

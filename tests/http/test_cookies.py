@@ -1,0 +1,88 @@
+"""Cookie parsing and serialisation tests."""
+
+import pytest
+
+from repro.http.cookies import Cookie, parse_cookie_header
+from repro.http.request import HTTPRequest
+from repro.http.response import HTTPResponse
+
+
+class TestParseCookieHeader:
+    def test_basic(self):
+        assert parse_cookie_header("a=1; b=two") == {"a": "1", "b": "two"}
+
+    def test_none_and_empty(self):
+        assert parse_cookie_header(None) == {}
+        assert parse_cookie_header("") == {}
+
+    def test_quoted_value(self):
+        assert parse_cookie_header('name="quoted value"') == {
+            "name": "quoted value"
+        }
+
+    def test_malformed_fragments_skipped(self):
+        assert parse_cookie_header("good=1; nonsense; =bad; x=2") == {
+            "good": "1", "x": "2",
+        }
+
+    def test_value_with_equals(self):
+        assert parse_cookie_header("token=a=b=c") == {"token": "a=b=c"}
+
+    def test_whitespace_tolerated(self):
+        assert parse_cookie_header("  a = 1 ;b=2") == {"a": "1", "b": "2"}
+
+
+class TestCookie:
+    def test_serialize_defaults(self):
+        assert Cookie("sid", "abc").serialize() == (
+            "sid=abc; Path=/; HttpOnly"
+        )
+
+    def test_serialize_all_attributes(self):
+        cookie = Cookie("sid", "abc", path="/app", max_age=60,
+                        http_only=False, secure=True)
+        assert cookie.serialize() == "sid=abc; Path=/app; Max-Age=60; Secure"
+
+    def test_expired(self):
+        assert "Max-Age=0" in Cookie.expired("sid").serialize()
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(ValueError):
+            Cookie("bad name", "v")
+        with pytest.raises(ValueError):
+            Cookie("", "v")
+
+    def test_invalid_value_rejected(self):
+        with pytest.raises(ValueError):
+            Cookie("n", "a;b")
+
+
+class TestIntegration:
+    def test_request_cookies_property(self):
+        request = HTTPRequest("GET", "/", headers={"cookie": "sc_id=42"})
+        assert request.cookies == {"sc_id": "42"}
+        assert request.cookies is request.cookies  # cached
+
+    def test_request_without_cookies(self):
+        assert HTTPRequest("GET", "/").cookies == {}
+
+    def test_response_set_cookie_serialized(self):
+        response = HTTPResponse.html("ok")
+        response.set_cookie("sc_id", "42", max_age=3600)
+        raw = response.serialize()
+        assert b"Set-Cookie: sc_id=42; Path=/; Max-Age=3600; HttpOnly\r\n" in raw
+
+    def test_multiple_cookies(self):
+        response = HTTPResponse.html("ok")
+        response.set_cookie("a", "1")
+        response.set_cookie("b", "2")
+        raw = response.serialize()
+        assert raw.count(b"Set-Cookie:") == 2
+
+    def test_roundtrip_through_client_parser(self):
+        from repro.http.client import parse_response_bytes
+
+        response = HTTPResponse.html("ok")
+        response.set_cookie("sid", "xyz")
+        parsed = parse_response_bytes(response.serialize())
+        assert "sid=xyz" in parsed.headers["set-cookie"]

@@ -1,0 +1,188 @@
+"""Incremental HTTP request parser tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.http.errors import BadRequestError, RequestTooLargeError
+from repro.http.parser import (
+    ParserState,
+    RequestParser,
+    parse_header_line,
+    parse_request_bytes,
+    parse_request_line,
+)
+
+SIMPLE_GET = (
+    b"GET /homepage?userid=5&popups=no HTTP/1.1\r\n"
+    b"User-Agent: Mozilla/1.7\r\n"
+    b"Accept: text/html\r\n"
+    b"\r\n"
+)
+
+
+class TestRequestLine:
+    def test_paper_example(self):
+        method, target, version = parse_request_line(
+            "GET /img/flowers.gif HTTP/1.1"
+        )
+        assert (method, target, version) == ("GET", "/img/flowers.gif",
+                                             "HTTP/1.1")
+
+    @pytest.mark.parametrize("line", [
+        "GET /a",                       # missing version
+        "GET  /a HTTP/1.1",             # double space -> 4 parts
+        "FETCH /a HTTP/1.1",            # unknown method
+        "GET a HTTP/1.1",               # target must start with /
+        "GET /a HTTP/2.0",              # unsupported version
+        "",                             # empty
+    ])
+    def test_malformed_rejected(self, line):
+        with pytest.raises(BadRequestError):
+            parse_request_line(line)
+
+    def test_http_1_0_accepted(self):
+        assert parse_request_line("GET / HTTP/1.0")[2] == "HTTP/1.0"
+
+    def test_post_accepted(self):
+        assert parse_request_line("POST /x HTTP/1.1")[0] == "POST"
+
+
+class TestHeaderLine:
+    def test_basic(self):
+        assert parse_header_line("Host: example.com") == ("host", "example.com")
+
+    def test_value_with_colon(self):
+        assert parse_header_line("Host: a:8080") == ("host", "a:8080")
+
+    def test_whitespace_stripped(self):
+        assert parse_header_line("X-Pad:   v  ") == ("x-pad", "v")
+
+    def test_missing_colon_rejected(self):
+        with pytest.raises(BadRequestError):
+            parse_header_line("not-a-header")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(BadRequestError):
+            parse_header_line(": value")
+
+
+class TestIncrementalParsing:
+    def test_one_shot(self):
+        request = parse_request_bytes(SIMPLE_GET)
+        assert request.method == "GET"
+        assert request.path == "/homepage"
+        assert request.params == {"userid": "5", "popups": "no"}
+        assert request.headers["user-agent"] == "Mozilla/1.7"
+
+    def test_byte_at_a_time(self):
+        parser = RequestParser()
+        for i in range(len(SIMPLE_GET)):
+            state = parser.feed(SIMPLE_GET[i:i + 1])
+        assert state is ParserState.COMPLETE
+        assert parser.result().path == "/homepage"
+
+    def test_request_line_available_before_headers(self):
+        parser = RequestParser()
+        parser.feed(b"GET /homepage?x=1 HTTP/1.1\r\nUser-")
+        assert parser.state is ParserState.HEADERS
+        assert parser.request_line == "GET /homepage?x=1 HTTP/1.1"
+
+    def test_post_with_body(self):
+        raw = (
+            b"POST /submit HTTP/1.1\r\n"
+            b"Content-Type: application/x-www-form-urlencoded\r\n"
+            b"Content-Length: 7\r\n\r\n"
+            b"a=1&b=2"
+        )
+        request = parse_request_bytes(raw)
+        assert request.body == b"a=1&b=2"
+        assert request.params == {"a": "1", "b": "2"}
+
+    def test_leftover_preserved_for_pipelining(self):
+        parser = RequestParser()
+        parser.feed(SIMPLE_GET + b"GET /next HTTP/1.1\r\n")
+        assert parser.state is ParserState.COMPLETE
+        assert parser.leftover == b"GET /next HTTP/1.1\r\n"
+
+    def test_bare_lf_tolerated(self):
+        request = parse_request_bytes(b"GET / HTTP/1.1\nHost: x\n\n")
+        assert request.headers["host"] == "x"
+
+    def test_leading_crlf_skipped(self):
+        request = parse_request_bytes(b"\r\nGET / HTTP/1.1\r\n\r\n")
+        assert request.method == "GET"
+
+    def test_incomplete_raises_on_result(self):
+        parser = RequestParser()
+        parser.feed(b"GET / HTTP/1.1\r\n")
+        with pytest.raises(BadRequestError):
+            parser.result()
+
+    def test_reuse_after_complete_rejected(self):
+        parser = RequestParser()
+        parser.feed(SIMPLE_GET)
+        with pytest.raises(BadRequestError):
+            parser.feed(b"more")
+
+
+class TestLimits:
+    def test_oversized_request_line(self):
+        parser = RequestParser(max_request_line=64)
+        with pytest.raises(RequestTooLargeError):
+            parser.feed(b"GET /" + b"a" * 100 + b" HTTP/1.1\r\n")
+
+    def test_oversized_request_line_without_newline(self):
+        parser = RequestParser(max_request_line=64)
+        with pytest.raises(RequestTooLargeError):
+            parser.feed(b"GET /" + b"a" * 100)
+
+    def test_oversized_body_rejected_from_header(self):
+        parser = RequestParser(max_body=10)
+        with pytest.raises(RequestTooLargeError):
+            parser.feed(
+                b"POST / HTTP/1.1\r\nContent-Length: 100\r\n\r\n"
+            )
+
+    def test_invalid_content_length(self):
+        with pytest.raises(BadRequestError):
+            parse_request_bytes(
+                b"POST / HTTP/1.1\r\nContent-Length: ten\r\n\r\n"
+            )
+
+    def test_negative_content_length(self):
+        with pytest.raises(BadRequestError):
+            parse_request_bytes(
+                b"POST / HTTP/1.1\r\nContent-Length: -5\r\n\r\n"
+            )
+
+
+class TestPropertyBased:
+    @given(st.binary(max_size=200))
+    def test_arbitrary_bytes_never_crash_differently(self, data):
+        parser = RequestParser()
+        try:
+            parser.feed(data)
+        except (BadRequestError, RequestTooLargeError):
+            pass  # controlled rejection is the contract
+
+    @given(
+        st.sampled_from(["GET", "POST", "HEAD"]),
+        st.text(
+            alphabet="abcdefghij0123456789/",
+            min_size=1, max_size=30,
+        ),
+        st.dictionaries(
+            st.text(alphabet="abcdefgh", min_size=1, max_size=8),
+            st.text(alphabet="ijklmnop 0123456789", max_size=12),
+            max_size=5,
+        ),
+    )
+    def test_serialized_requests_roundtrip(self, method, path, headers):
+        lines = [f"{method} /{path} HTTP/1.1"]
+        lines.extend(f"{k}: {v}" for k, v in headers.items())
+        raw = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+        request = parse_request_bytes(raw)
+        assert request.method == method
+        assert request.target == f"/{path}"
+        for key, value in headers.items():
+            assert request.headers[key.lower()] == value.strip()

@@ -1,0 +1,109 @@
+"""HTTPRequest and HTTPResponse object tests."""
+
+import pytest
+
+from repro.http.request import HTTPRequest
+from repro.http.response import HTTPResponse
+
+
+class TestHTTPRequest:
+    def test_path_and_params_derived(self):
+        request = HTTPRequest("GET", "/homepage?userid=5&popups=no")
+        assert request.path == "/homepage"
+        assert request.query == "userid=5&popups=no"
+        assert request.params == {"userid": "5", "popups": "no"}
+
+    def test_no_query(self):
+        request = HTTPRequest("GET", "/plain")
+        assert request.params == {}
+
+    def test_header_lookup_case_insensitive(self):
+        request = HTTPRequest("GET", "/", headers={"user-agent": "x"})
+        assert request.header("User-Agent") == "x"
+        assert request.header("missing", "d") == "d"
+
+    def test_form_body_merged_into_params(self):
+        request = HTTPRequest(
+            "POST", "/submit?a=1",
+            headers={"content-type": "application/x-www-form-urlencoded"},
+            body=b"b=2&a=3",
+        )
+        assert request.params == {"a": "3", "b": "2"}
+
+    def test_non_form_body_ignored_for_params(self):
+        request = HTTPRequest(
+            "POST", "/submit?a=1",
+            headers={"content-type": "application/json"},
+            body=b'{"b": 2}',
+        )
+        assert request.params == {"a": "1"}
+
+    def test_keep_alive_default_http11(self):
+        assert HTTPRequest("GET", "/").keep_alive
+
+    def test_connection_close_http11(self):
+        request = HTTPRequest("GET", "/", headers={"connection": "close"})
+        assert not request.keep_alive
+
+    def test_http10_defaults_to_close(self):
+        request = HTTPRequest("GET", "/", version="HTTP/1.0")
+        assert not request.keep_alive
+
+    def test_http10_keep_alive_opt_in(self):
+        request = HTTPRequest(
+            "GET", "/", version="HTTP/1.0",
+            headers={"connection": "keep-alive"},
+        )
+        assert request.keep_alive
+
+    def test_describe(self):
+        assert HTTPRequest("GET", "/a?b=1").describe() == "GET /a?b=1"
+
+
+class TestHTTPResponse:
+    def test_string_body_encoded(self):
+        response = HTTPResponse(body="héllo")
+        assert response.body == "héllo".encode("utf-8")
+
+    def test_unknown_status_rejected(self):
+        with pytest.raises(ValueError):
+            HTTPResponse(status=299)
+
+    def test_html_constructor(self):
+        response = HTTPResponse.html("<p>x</p>")
+        assert response.headers["Content-Type"].startswith("text/html")
+        assert response.status == 200
+
+    def test_error_constructor(self):
+        response = HTTPResponse.error(404, "nope")
+        assert response.status == 404
+        assert b"404 Not Found" in response.body
+        assert b"nope" in response.body
+
+    def test_serialize_sets_exact_content_length(self):
+        response = HTTPResponse.html("abcde")
+        raw = response.serialize()
+        assert b"Content-Length: 5\r\n" in raw
+        assert raw.endswith(b"abcde")
+
+    def test_serialize_preserves_explicit_content_length(self):
+        # HEAD responses advertise the length of the omitted body.
+        response = HTTPResponse(
+            body=b"", headers={"Content-Length": "1234"}
+        )
+        assert b"Content-Length: 1234\r\n" in response.serialize()
+
+    def test_serialize_connection_header(self):
+        assert b"Connection: keep-alive\r\n" in HTTPResponse().serialize(
+            keep_alive=True
+        )
+        assert b"Connection: close\r\n" in HTTPResponse().serialize(
+            keep_alive=False
+        )
+
+    def test_status_line_first(self):
+        raw = HTTPResponse(status=404).serialize()
+        assert raw.startswith(b"HTTP/1.1 404 Not Found\r\n")
+
+    def test_reason_property(self):
+        assert HTTPResponse(status=503).reason == "Service Unavailable"

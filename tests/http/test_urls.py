@@ -1,0 +1,95 @@
+"""URL decoding and query-string parsing tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.http.errors import BadRequestError
+from repro.http.urls import (
+    parse_query_string,
+    parse_query_string_multi,
+    split_path_query,
+    url_decode,
+)
+
+
+class TestUrlDecode:
+    @pytest.mark.parametrize("encoded,decoded", [
+        ("hello", "hello"),
+        ("a%20b", "a b"),
+        ("a+b", "a b"),
+        ("%41%42", "AB"),
+        ("100%25", "100%"),
+        ("", ""),
+        ("%E2%82%AC", "€"),
+        ("caf%C3%A9", "café"),
+    ])
+    def test_decodes(self, encoded, decoded):
+        assert url_decode(encoded) == decoded
+
+    def test_plus_literal_when_disabled(self):
+        assert url_decode("a+b", plus_as_space=False) == "a+b"
+
+    def test_truncated_escape_rejected(self):
+        with pytest.raises(BadRequestError):
+            url_decode("abc%2")
+
+    def test_trailing_percent_rejected(self):
+        with pytest.raises(BadRequestError):
+            url_decode("abc%")
+
+    def test_non_hex_escape_rejected(self):
+        with pytest.raises(BadRequestError):
+            url_decode("%GG")
+
+    def test_invalid_utf8_replaced_not_crashing(self):
+        assert "�" in url_decode("%FF")
+
+    @given(st.text(max_size=50))
+    def test_roundtrip_via_manual_encoding(self, text):
+        encoded = "".join(f"%{b:02X}" for b in text.encode("utf-8"))
+        assert url_decode(encoded) == text
+
+
+class TestParseQueryString:
+    def test_paper_example(self):
+        assert parse_query_string("userid=5&popups=no") == {
+            "userid": "5", "popups": "no",
+        }
+
+    def test_empty(self):
+        assert parse_query_string("") == {}
+
+    def test_key_without_value(self):
+        assert parse_query_string("flag") == {"flag": ""}
+
+    def test_value_with_equals(self):
+        assert parse_query_string("expr=a=b") == {"expr": "a=b"}
+
+    def test_last_duplicate_wins(self):
+        assert parse_query_string("a=1&a=2") == {"a": "2"}
+
+    def test_empty_pairs_skipped(self):
+        assert parse_query_string("a=1&&b=2&") == {"a": "1", "b": "2"}
+
+    def test_decoded_values(self):
+        assert parse_query_string("q=hello+world%21") == {"q": "hello world!"}
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(BadRequestError):
+            parse_query_string("=value")
+
+    def test_multi_keeps_duplicates(self):
+        assert parse_query_string_multi("a=1&a=2&b=3") == {
+            "a": ["1", "2"], "b": ["3"],
+        }
+
+
+class TestSplitPathQuery:
+    def test_with_query(self):
+        assert split_path_query("/p?a=1") == ("/p", "a=1")
+
+    def test_without_query(self):
+        assert split_path_query("/p") == ("/p", "")
+
+    def test_only_first_question_mark_splits(self):
+        assert split_path_query("/p?a=1?b=2") == ("/p", "a=1?b=2")

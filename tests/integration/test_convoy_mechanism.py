@@ -1,0 +1,119 @@
+"""The paper's core mechanism, deterministically, on real sockets.
+
+One slow request and one quick request arrive together.  On the
+thread-per-request server with a single worker, the quick request
+convoys behind the slow one (paper §1: "a request might wait for a
+thread ... to finish before it can query the database").  On the
+staged server with a warm classifier, the slow request is diverted to
+the lengthy pool and the quick request sails through the general pool.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.core.policy import PolicyConfig, SchedulingPolicy
+from repro.db.engine import Database
+from repro.db.pool import ConnectionPool
+from repro.http.client import http_request
+from repro.server.baseline import BaselineServer
+from repro.server.staged import StagedServer
+from repro.templates.engine import TemplateEngine
+
+SLOW_SECONDS = 0.6
+
+
+def build_app():
+    database = Database()
+    app_templates = TemplateEngine(sources={"p.html": "done {{ which }}"})
+    from repro.server.app import Application
+
+    app = Application(templates=app_templates)
+
+    @app.expose("/slow")
+    def slow():
+        time.sleep(SLOW_SECONDS)  # a lengthy database query
+        return ("p.html", {"which": "slow"})
+
+    @app.expose("/fast")
+    def fast():
+        return ("p.html", {"which": "fast"})
+
+    return app, database
+
+
+def convoy_measurement(server, host, port):
+    """Fire /slow, then (50 ms later) /fast; return /fast's latency."""
+    slow_started = threading.Event()
+
+    def slow_client():
+        slow_started.set()
+        http_request(host, port, "/slow", timeout=30)
+
+    slow_thread = threading.Thread(target=slow_client)
+    slow_thread.start()
+    slow_started.wait(timeout=5)
+    time.sleep(0.05)  # let /slow occupy its worker
+    started = time.monotonic()
+    response = http_request(host, port, "/fast", timeout=30)
+    elapsed = time.monotonic() - started
+    slow_thread.join(timeout=30)
+    assert response.status == 200
+    return elapsed
+
+
+class TestConvoyMechanism:
+    def test_baseline_quick_request_convoys_behind_slow(self):
+        app, database = build_app()
+        server = BaselineServer(app, ConnectionPool(database, 1)).start()
+        try:
+            host, port = server.address
+            elapsed = convoy_measurement(server, host, port)
+            # The single worker is busy sleeping; /fast must wait it out.
+            assert elapsed > SLOW_SECONDS * 0.6
+        finally:
+            server.stop()
+
+    def test_staged_quick_request_bypasses_slow(self):
+        app, database = build_app()
+        policy = SchedulingPolicy(PolicyConfig(
+            general_pool_size=1, lengthy_pool_size=1, minimum_reserve=1,
+            header_pool_size=2, static_pool_size=1, render_pool_size=1,
+        ))
+        # Warm start: the classifier already knows /slow is lengthy.
+        policy.tracker.prime("/slow", 10.0)
+        server = StagedServer(app, ConnectionPool(database, 2),
+                              policy=policy).start()
+        try:
+            host, port = server.address
+            elapsed = convoy_measurement(server, host, port)
+            # /slow went to the lengthy pool (tspare 1 <= treserve 1);
+            # the general pool's one thread was free for /fast.
+            assert elapsed < SLOW_SECONDS * 0.5
+        finally:
+            server.stop()
+
+    def test_staged_cold_start_learns_after_first_sample(self):
+        """Cold start: the first /slow is misclassified quick.  After
+        one measurement, the tracker mean exceeds the cutoff and the
+        next /slow is diverted."""
+        app, database = build_app()
+        policy = SchedulingPolicy(PolicyConfig(
+            general_pool_size=1, lengthy_pool_size=1, minimum_reserve=1,
+            header_pool_size=2, static_pool_size=1, render_pool_size=1,
+            lengthy_cutoff=0.2,
+        ))
+        server = StagedServer(app, ConnectionPool(database, 2),
+                              policy=policy).start()
+        try:
+            host, port = server.address
+            from repro.core.classifier import RequestClass
+
+            assert policy.classify("/slow") is RequestClass.QUICK_DYNAMIC
+            http_request(host, port, "/slow", timeout=30)
+            assert policy.classify("/slow") is RequestClass.LENGTHY_DYNAMIC
+            elapsed = convoy_measurement(server, host, port)
+            assert elapsed < SLOW_SECONDS * 0.5
+        finally:
+            server.stop()

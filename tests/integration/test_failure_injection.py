@@ -1,0 +1,223 @@
+"""Failure injection: servers must survive misbehaving clients,
+crashing handlers, and database errors without losing worker threads
+or corrupting subsequent requests."""
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.core.policy import PolicyConfig, SchedulingPolicy
+from repro.db.engine import Database
+from repro.db.pool import ConnectionPool
+from repro.http.client import http_request
+from repro.server.app import Application
+from repro.server.baseline import BaselineServer
+from repro.server.staged import StagedServer
+from repro.templates.engine import TemplateEngine
+
+
+def build_app():
+    database = Database()
+    database.executescript(
+        "CREATE TABLE t (id INT PRIMARY KEY AUTO_INCREMENT, v INT)"
+    )
+    database.execute("INSERT INTO t (v) VALUES (1)")
+    app = Application(templates=TemplateEngine(sources={
+        "ok.html": "value={{ v }}",
+        "broken.html": "{{ items|join }}{% for x in 5 %}{% endfor %}",
+    }))
+    app.add_static("/s.gif", b"GIF89a")
+
+    @app.expose("/ok")
+    def ok():
+        cursor = app.getconn().cursor()
+        cursor.execute("SELECT v FROM t WHERE id = 1")
+        return ("ok.html", {"v": cursor.fetchone()[0]})
+
+    @app.expose("/crash")
+    def crash():
+        raise RuntimeError("intentional handler crash")
+
+    @app.expose("/bad_sql")
+    def bad_sql():
+        app.getconn().execute("SELEKT nonsense")
+        return ("ok.html", {})
+
+    @app.expose("/bad_template")
+    def bad_template():
+        return ("broken.html", {"items": 3})
+
+    @app.expose("/missing_template")
+    def missing_template():
+        return ("nope.html", {})
+
+    @app.expose("/wrong_type")
+    def wrong_type():
+        return {"not": "a valid result"}
+
+    @app.expose("/needs_param")
+    def needs_param(required):
+        return ("ok.html", {"v": required})
+
+    return app, database
+
+
+@pytest.fixture(params=["baseline", "staged"])
+def server(request):
+    app, database = build_app()
+    if request.param == "baseline":
+        instance = BaselineServer(app, ConnectionPool(database, 3))
+    else:
+        policy = SchedulingPolicy(PolicyConfig(
+            general_pool_size=3, lengthy_pool_size=1, minimum_reserve=1,
+            header_pool_size=2, static_pool_size=1, render_pool_size=2,
+        ))
+        instance = StagedServer(app, ConnectionPool(database, 6),
+                                policy=policy)
+    instance.start()
+    yield instance
+    instance.stop()
+
+
+class TestHandlerFailures:
+    @pytest.mark.parametrize("path,expected_fragment", [
+        ("/crash", b"RuntimeError"),
+        ("/bad_sql", b"500"),
+        ("/bad_template", b"500"),
+        ("/missing_template", b"500"),
+    ])
+    def test_failures_become_500_not_dead_workers(self, server, path,
+                                                  expected_fragment):
+        host, port = server.address
+        response = http_request(host, port, path)
+        assert response.status == 500
+        assert expected_fragment in response.body
+        # The server still works afterwards.
+        assert http_request(host, port, "/ok").status == 200
+
+    def test_missing_required_param_is_500(self, server):
+        host, port = server.address
+        assert http_request(host, port, "/needs_param").status == 500
+        assert http_request(
+            host, port, "/needs_param?required=x"
+        ).status == 200
+
+    def test_unexpected_param_is_500(self, server):
+        host, port = server.address
+        assert http_request(host, port, "/ok?surprise=1").status == 500
+
+    def test_wrong_return_type_coerced(self, server):
+        # Backward-compat: non-(str, dict) results are stringified.
+        host, port = server.address
+        response = http_request(host, port, "/wrong_type")
+        assert response.status == 200
+
+    def test_repeated_failures_never_exhaust_workers(self, server):
+        host, port = server.address
+        for _ in range(20):
+            http_request(host, port, "/crash")
+        assert http_request(host, port, "/ok").status == 200
+
+
+class TestClientMisbehaviour:
+    def test_client_disconnects_mid_request(self, server):
+        host, port = server.address
+        for _ in range(5):
+            sock = socket.create_connection((host, port), timeout=5)
+            sock.sendall(b"GET /ok HTTP/1.1\r\nHost:")  # incomplete
+            sock.close()
+        time.sleep(0.1)
+        assert http_request(host, port, "/ok").status == 200
+
+    def test_client_sends_garbage(self, server):
+        host, port = server.address
+        with socket.create_connection((host, port), timeout=5) as sock:
+            sock.sendall(b"\x00\xff\xfe GARBAGE \r\n\r\n")
+            data = sock.recv(65536)
+        assert b"400" in data.split(b"\r\n", 1)[0]
+        assert http_request(host, port, "/ok").status == 200
+
+    def test_client_connects_and_says_nothing(self, server):
+        host, port = server.address
+        socks = [socket.create_connection((host, port), timeout=5)
+                 for _ in range(3)]
+        time.sleep(0.1)
+        # Server must still answer others while those connections idle.
+        assert http_request(host, port, "/ok").status == 200
+        for sock in socks:
+            sock.close()
+
+    def test_oversized_request_line_rejected(self, server):
+        host, port = server.address
+        with socket.create_connection((host, port), timeout=5) as sock:
+            sock.sendall(b"GET /" + b"a" * 20000 + b" HTTP/1.1\r\n\r\n")
+            data = sock.recv(65536)
+        # 400 or 413 depending on where the limit triggers; never a hang.
+        assert data.startswith(b"HTTP/1.1 4")
+
+    def test_concurrent_mixed_good_and_bad_clients(self, server):
+        host, port = server.address
+        errors = []
+
+        def good_client():
+            try:
+                for _ in range(5):
+                    assert http_request(host, port, "/ok").status == 200
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        def bad_client():
+            for _ in range(5):
+                try:
+                    sock = socket.create_connection((host, port), timeout=5)
+                    sock.sendall(b"BROKEN\r\n")
+                    sock.close()
+                except OSError:
+                    pass
+
+        threads = [threading.Thread(target=good_client) for _ in range(3)]
+        threads += [threading.Thread(target=bad_client) for _ in range(3)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert not errors
+
+
+class TestOverload:
+    def test_bounded_server_sheds_load_with_503(self):
+        """With max_queue set and all workers blocked, extra clients
+        get an immediate 503 instead of waiting forever."""
+        app, database = build_app()
+        gate = threading.Event()
+
+        @app.expose("/block")
+        def block():
+            gate.wait(timeout=30)
+            return ("ok.html", {"v": 0})
+
+        server = BaselineServer(app, ConnectionPool(database, 2),
+                                max_queue=1).start()
+        try:
+            host, port = server.address
+            def blocked_call():
+                try:
+                    http_request(host, port, "/block", timeout=60)
+                except OSError:
+                    pass  # a rejected blocker may see a reset
+
+            blockers = [threading.Thread(target=blocked_call)
+                        for _ in range(3)]  # 2 workers + 1 queued
+            for t in blockers:
+                t.start()
+                time.sleep(0.3)  # let each engage before the next arrives
+            response = http_request(host, port, "/ok", timeout=5)
+            assert response.status == 503
+            assert server.worker_pool.rejected >= 1
+        finally:
+            gate.set()
+            for t in blockers:
+                t.join(timeout=10)
+            server.stop()

@@ -1,0 +1,144 @@
+"""Full-stack integration: TPC-W on real servers over real sockets,
+driven by emulated browsers — the paper's testbed in miniature."""
+
+import pytest
+
+from repro.core.policy import PolicyConfig, SchedulingPolicy
+from repro.db.engine import Database
+from repro.db.pool import ConnectionPool
+from repro.http.client import http_request
+from repro.server.baseline import BaselineServer
+from repro.server.staged import StagedServer
+from repro.tpcw.app import PAGES, TPCWApplication
+from repro.tpcw.emulator import BrowserFleet, encode_params
+from repro.tpcw.mix import BrowsingMix
+from repro.tpcw.population import PopulationScale, populate
+from repro.tpcw.schema import create_schema
+from repro.util.rng import RandomStream
+
+
+def build_tpcw():
+    database = Database()
+    create_schema(database)
+    populate(database, PopulationScale.tiny())
+    return TPCWApplication(database, bestseller_window=50), database
+
+
+def staged_policy():
+    return SchedulingPolicy(PolicyConfig(
+        general_pool_size=8, lengthy_pool_size=2, minimum_reserve=2,
+        header_pool_size=3, static_pool_size=3, render_pool_size=3,
+    ))
+
+
+@pytest.fixture(params=["baseline", "staged"], scope="module")
+def live_server(request):
+    app, database = build_tpcw()
+    if request.param == "baseline":
+        server = BaselineServer(app, ConnectionPool(database, 6))
+    else:
+        server = StagedServer(app, ConnectionPool(database, 12),
+                              policy=staged_policy())
+    server.start()
+    yield server
+    server.stop()
+
+
+class TestEveryPageOverHTTP:
+    def test_all_fourteen_pages_return_200(self, live_server):
+        host, port = live_server.address
+        mix = BrowsingMix(RandomStream(3, "t"), customers=120, items=60)
+        for path in PAGES:
+            params = mix.params_for(path)
+            response = http_request(host, port, path + encode_params(params))
+            assert response.status == 200, (path, response.status)
+            assert b"</html>" in response.body, path
+
+    def test_content_length_is_exact(self, live_server):
+        host, port = live_server.address
+        response = http_request(host, port, "/home?c_id=1&i_id=1")
+        assert int(response.headers["content-length"]) == len(response.body)
+
+    def test_images_served(self, live_server):
+        host, port = live_server.address
+        response = http_request(host, port, "/img/thumb_1.gif")
+        assert response.status == 200
+        assert response.headers["content-type"] == "image/gif"
+
+    def test_cart_flow_over_http(self, live_server):
+        import re
+
+        host, port = live_server.address
+        response = http_request(host, port, "/shopping_cart?sc_id=0&i_id=3")
+        match = re.search(r'name="sc_id" value="(\d+)"', response.text)
+        assert match, "cart id not found in page"
+        cart_id = match.group(1)
+        response = http_request(
+            host, port, f"/shopping_cart?sc_id={cart_id}&i_id=4"
+        )
+        assert response.status == 200
+        response = http_request(
+            host, port, f"/buy_confirm?sc_id={cart_id}&c_id=1"
+        )
+        assert response.status == 200
+        assert b"Thank you for your order" in response.body
+
+
+class TestBrowserFleet:
+    def test_fleet_against_staged_server(self):
+        app, database = build_tpcw()
+        server = StagedServer(app, ConnectionPool(database, 12),
+                              policy=staged_policy()).start()
+        try:
+            host, port = server.address
+            fleet = BrowserFleet(host, port, clients=6, customers=120,
+                                 items=60, think_scale=0.02)
+            fleet.run_for(4.0)
+            assert fleet.total_completions() > 10
+            assert fleet.errors() == []
+            assert fleet.mean_response_times()
+            # Server-side view agrees on volume.
+            assert server.stats.total_completions() >= (
+                fleet.total_completions()
+            )
+        finally:
+            server.stop()
+
+    def test_fleet_against_baseline_server(self):
+        app, database = build_tpcw()
+        server = BaselineServer(app, ConnectionPool(database, 6)).start()
+        try:
+            host, port = server.address
+            fleet = BrowserFleet(host, port, clients=4, customers=120,
+                                 items=60, think_scale=0.02)
+            fleet.run_for(3.0)
+            assert fleet.total_completions() > 5
+            assert fleet.errors() == []
+        finally:
+            server.stop()
+
+    def test_staged_policy_learns_from_live_traffic(self):
+        app, database = build_tpcw()
+        server = StagedServer(app, ConnectionPool(database, 12),
+                              policy=staged_policy()).start()
+        try:
+            host, port = server.address
+            for _ in range(3):
+                http_request(host, port, "/best_sellers?subject=ARTS")
+            assert server.policy.tracker.sample_count("/best_sellers") == 3
+            assert (
+                server.policy.tracker.mean_time("/best_sellers") is not None
+            )
+        finally:
+            server.stop()
+
+
+class TestEncodeParams:
+    def test_empty(self):
+        assert encode_params({}) == ""
+
+    def test_basic(self):
+        assert encode_params({"a": "1"}) == "?a=1"
+
+    def test_escapes(self):
+        assert encode_params({"q": "a b&c"}) == "?q=a+b%26c"

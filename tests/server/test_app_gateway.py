@@ -1,0 +1,156 @@
+"""Application routing and gateway (handler result interpretation)."""
+
+import pytest
+
+from repro.http.errors import NotFoundError
+from repro.http.request import HTTPRequest
+from repro.server.app import Application
+from repro.server.gateway import (
+    UnrenderedPage,
+    error_response,
+    head_strip,
+    interpret_result,
+    render_page,
+)
+from repro.server.static import content_type_for, serve_static
+from repro.templates.engine import TemplateEngine
+
+
+class TestRouting:
+    def test_expose_and_invoke(self):
+        app = Application()
+        app.expose("/hello", lambda name="x": f"hi {name}")
+        request = HTTPRequest("GET", "/hello?name=eli")
+        assert app.invoke(request) == "hi eli"
+
+    def test_expose_as_decorator(self):
+        app = Application()
+
+        @app.expose("/page")
+        def page():
+            return "ok"
+
+        assert app.invoke(HTTPRequest("GET", "/page")) == "ok"
+
+    def test_route_must_start_with_slash(self):
+        with pytest.raises(ValueError):
+            Application().expose("no-slash", lambda: "")
+
+    def test_unknown_route_raises_not_found(self):
+        with pytest.raises(NotFoundError):
+            Application().handler_for("/nope")
+
+    def test_has_route(self):
+        app = Application()
+        app.expose("/a", lambda: "")
+        assert app.has_route("/a")
+        assert not app.has_route("/b")
+
+    def test_query_params_become_kwargs(self):
+        app = Application()
+        app.expose("/sum", lambda a, b: str(int(a) + int(b)))
+        assert app.invoke(HTTPRequest("GET", "/sum?a=2&b=3")) == "5"
+
+    def test_request_bound_during_invoke(self):
+        app = Application()
+
+        @app.expose("/echo")
+        def echo():
+            return app.current_request().header("user-agent", "")
+
+        request = HTTPRequest("GET", "/echo", headers={"user-agent": "UA"})
+        assert app.invoke(request) == "UA"
+        with pytest.raises(RuntimeError):
+            app.current_request()
+
+    def test_getconn_without_binding_raises(self):
+        with pytest.raises(RuntimeError):
+            Application().getconn()
+
+
+class TestStatics:
+    def test_add_and_fetch(self):
+        app = Application()
+        app.add_static("/img/x.gif", b"bytes")
+        assert app.static_content("/img/x.gif") == b"bytes"
+        assert app.has_static("/img/x.gif")
+
+    def test_string_content_encoded(self):
+        app = Application()
+        app.add_static("/robots.txt", "allow")
+        assert app.static_content("/robots.txt") == b"allow"
+
+    def test_missing_static_raises(self):
+        with pytest.raises(NotFoundError):
+            Application().static_content("/nope.gif")
+
+    def test_static_path_must_start_with_slash(self):
+        with pytest.raises(ValueError):
+            Application().add_static("x.gif", b"")
+
+    def test_serve_static_sets_content_type(self):
+        app = Application()
+        app.add_static("/img/x.gif", b"GIF89a")
+        response = serve_static(app, HTTPRequest("GET", "/img/x.gif"))
+        assert response.headers["Content-Type"] == "image/gif"
+        assert response.body == b"GIF89a"
+
+    @pytest.mark.parametrize("path,expected", [
+        ("/a.css", "text/css"),
+        ("/a.html", "text/html; charset=utf-8"),
+        ("/a.png", "image/png"),
+        ("/a.unknown", "application/octet-stream"),
+        ("/noext", "application/octet-stream"),
+    ])
+    def test_content_types(self, path, expected):
+        assert content_type_for(path) == expected
+
+
+class TestGateway:
+    def test_tuple_interpreted_as_unrendered(self):
+        outcome = interpret_result(("page.html", {"a": 1}))
+        assert isinstance(outcome, UnrenderedPage)
+        assert outcome.template_name == "page.html"
+        assert outcome.data == {"a": 1}
+
+    def test_string_passes_through(self):
+        assert interpret_result("<html>") == "<html>"
+
+    def test_wrong_tuple_shape_treated_as_string(self):
+        # Backward compatibility: anything not (str, dict) is a string.
+        assert interpret_result(("a", "b")) == str(("a", "b"))
+
+    def test_non_string_coerced(self):
+        assert interpret_result(42) == "42"
+
+    def test_render_page(self):
+        engine = TemplateEngine(sources={"p.html": "v={{ v }}"})
+        app = Application(templates=engine)
+        response = render_page(app, UnrenderedPage("p.html", {"v": 9}))
+        assert response.body == b"v=9"
+        assert response.status == 200
+
+    def test_error_response_from_http_error(self):
+        response = error_response(NotFoundError("gone"))
+        assert response.status == 404
+
+    def test_error_response_from_generic_exception(self):
+        response = error_response(ValueError("bug"))
+        assert response.status == 500
+        assert b"ValueError" in response.body
+
+    def test_head_strip_removes_body_keeps_length(self):
+        from repro.http.response import HTTPResponse
+
+        request = HTTPRequest("HEAD", "/x")
+        response = HTTPResponse.html("12345")
+        stripped = head_strip(request, response)
+        assert stripped.body == b""
+        assert stripped.headers["Content-Length"] == "5"
+
+    def test_head_strip_ignores_get(self):
+        from repro.http.response import HTTPResponse
+
+        request = HTTPRequest("GET", "/x")
+        response = HTTPResponse.html("12345")
+        assert head_strip(request, response) is response

@@ -1,0 +1,165 @@
+"""ThreadPool tests: queueing, spare counting, error isolation."""
+
+import threading
+import time
+
+import pytest
+
+from repro.server.pools import ThreadPool
+
+
+class TestBasics:
+    def test_executes_tasks(self):
+        pool = ThreadPool("t", 2)
+        done = threading.Event()
+        pool.submit(lambda item: done.set(), None)
+        assert done.wait(timeout=5)
+        pool.shutdown()
+
+    def test_item_passed_to_handler(self):
+        pool = ThreadPool("t", 1)
+        received = []
+        event = threading.Event()
+
+        def handler(item):
+            received.append(item)
+            event.set()
+
+        pool.submit(handler, "payload")
+        assert event.wait(timeout=5)
+        assert received == ["payload"]
+        pool.shutdown()
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            ThreadPool("t", 0)
+
+    def test_tasks_completed_counter(self):
+        pool = ThreadPool("t", 2)
+        for _ in range(10):
+            pool.submit(lambda _x: None, None)
+        pool.shutdown(wait=True)
+        assert pool.tasks_completed == 10
+
+
+class TestSpareAndQueue:
+    def test_spare_reflects_busy_workers(self):
+        pool = ThreadPool("t", 3)
+        release = threading.Event()
+        started = threading.Barrier(3)
+
+        def block(_item):
+            started.wait(timeout=5)
+            release.wait(timeout=5)
+
+        for _ in range(2):
+            pool.submit(block, None)
+        # Third party to the barrier: the test itself, once both run.
+        time.sleep(0.05)
+        assert pool.busy == 2
+        assert pool.spare == 1
+        started.wait(timeout=5)
+        release.set()
+        pool.shutdown()
+
+    def test_queue_length_counts_waiting_tasks(self):
+        pool = ThreadPool("t", 1)
+        release = threading.Event()
+        pool.submit(lambda _x: release.wait(timeout=10), None)
+        time.sleep(0.05)
+        for _ in range(5):
+            pool.submit(lambda _x: None, None)
+        assert pool.queue_length == 5
+        release.set()
+        pool.shutdown()
+        assert pool.queue_length == 0
+
+
+class TestErrorIsolation:
+    def test_worker_survives_handler_exception(self):
+        pool = ThreadPool("t", 1)
+        done = threading.Event()
+
+        def boom(_item):
+            raise ValueError("handler bug")
+
+        pool.submit(boom, None)
+        pool.submit(lambda _x: done.set(), None)
+        assert done.wait(timeout=5)
+        assert pool.errors == 1
+        assert isinstance(pool.last_error, ValueError)
+        pool.shutdown()
+
+    def test_error_handler_invoked(self):
+        captured = []
+        pool = ThreadPool(
+            "t", 1, error_handler=lambda exc, item: captured.append((exc, item))
+        )
+        pool.submit(lambda item: 1 / 0, "ctx")
+        pool.shutdown(wait=True)
+        assert len(captured) == 1
+        assert isinstance(captured[0][0], ZeroDivisionError)
+        assert captured[0][1] == "ctx"
+
+
+class TestLifecycle:
+    def test_worker_init_and_cleanup(self):
+        events = []
+        pool = ThreadPool(
+            "t", 2,
+            worker_init=lambda: events.append("init"),
+            worker_cleanup=lambda: events.append("cleanup"),
+        )
+        pool.shutdown(wait=True)
+        assert events.count("init") == 2
+        assert events.count("cleanup") == 2
+
+    def test_submit_after_shutdown_rejected(self):
+        pool = ThreadPool("t", 1)
+        pool.shutdown()
+        with pytest.raises(RuntimeError):
+            pool.submit(lambda _x: None, None)
+
+    def test_shutdown_drains_queue_first(self):
+        pool = ThreadPool("t", 1)
+        results = []
+        for i in range(5):
+            pool.submit(lambda item: results.append(item), i)
+        pool.shutdown(wait=True)
+        assert results == [0, 1, 2, 3, 4]
+
+    def test_double_shutdown_is_noop(self):
+        pool = ThreadPool("t", 1)
+        pool.shutdown()
+        pool.shutdown()
+
+
+class TestAdmissionControl:
+    def test_bounded_queue_rejects_overflow(self):
+        from repro.server.pools import PoolOverloadedError
+
+        pool = ThreadPool("t", 1, max_queue=2)
+        release = threading.Event()
+        pool.submit(lambda _x: release.wait(timeout=10), None)
+        time.sleep(0.05)  # worker now busy
+        pool.submit(lambda _x: None, None)
+        pool.submit(lambda _x: None, None)
+        with pytest.raises(PoolOverloadedError):
+            pool.submit(lambda _x: None, None)
+        assert pool.rejected == 1
+        release.set()
+        pool.shutdown()
+
+    def test_unbounded_by_default(self):
+        pool = ThreadPool("t", 1)
+        release = threading.Event()
+        pool.submit(lambda _x: release.wait(timeout=10), None)
+        for _ in range(100):
+            pool.submit(lambda _x: None, None)
+        assert pool.rejected == 0
+        release.set()
+        pool.shutdown()
+
+    def test_invalid_max_queue(self):
+        with pytest.raises(ValueError):
+            ThreadPool("t", 1, max_queue=0)

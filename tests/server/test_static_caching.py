@@ -1,0 +1,128 @@
+"""Conditional GET (ETag / If-None-Match / 304) tests."""
+
+import pytest
+
+from repro.http.request import HTTPRequest
+from repro.server.app import Application
+from repro.server.static import serve_static
+
+
+@pytest.fixture()
+def app():
+    instance = Application()
+    instance.add_static("/img/a.gif", b"GIF89a-alpha")
+    instance.add_static("/img/b.gif", b"GIF89a-beta")
+    return instance
+
+
+class TestETags:
+    def test_etag_stable_per_content(self, app):
+        assert app.static_etag("/img/a.gif") == app.static_etag("/img/a.gif")
+
+    def test_etag_differs_per_content(self, app):
+        assert app.static_etag("/img/a.gif") != app.static_etag("/img/b.gif")
+
+    def test_etag_is_quoted(self, app):
+        etag = app.static_etag("/img/a.gif")
+        assert etag.startswith('"') and etag.endswith('"')
+
+    def test_etag_changes_when_content_replaced(self, app):
+        before = app.static_etag("/img/a.gif")
+        app.add_static("/img/a.gif", b"new content")
+        assert app.static_etag("/img/a.gif") != before
+
+    def test_missing_file_raises(self, app):
+        from repro.http.errors import NotFoundError
+
+        with pytest.raises(NotFoundError):
+            app.static_etag("/nope.gif")
+
+
+class TestConditionalGet:
+    def test_plain_get_carries_etag(self, app):
+        response = serve_static(app, HTTPRequest("GET", "/img/a.gif"))
+        assert response.status == 200
+        assert response.headers["ETag"] == app.static_etag("/img/a.gif")
+
+    def test_matching_etag_returns_304(self, app):
+        etag = app.static_etag("/img/a.gif")
+        request = HTTPRequest("GET", "/img/a.gif",
+                              headers={"if-none-match": etag})
+        response = serve_static(app, request)
+        assert response.status == 304
+        assert response.body == b""
+
+    def test_stale_etag_returns_full_body(self, app):
+        request = HTTPRequest("GET", "/img/a.gif",
+                              headers={"if-none-match": '"stale"'})
+        response = serve_static(app, request)
+        assert response.status == 200
+        assert response.body == b"GIF89a-alpha"
+
+    def test_star_matches_anything(self, app):
+        request = HTTPRequest("GET", "/img/a.gif",
+                              headers={"if-none-match": "*"})
+        assert serve_static(app, request).status == 304
+
+    def test_etag_list_matching(self, app):
+        etag = app.static_etag("/img/a.gif")
+        request = HTTPRequest(
+            "GET", "/img/a.gif",
+            headers={"if-none-match": f'"other", {etag}'},
+        )
+        assert serve_static(app, request).status == 304
+
+    def test_304_over_real_server(self):
+        from repro.db.engine import Database
+        from repro.db.pool import ConnectionPool
+        from repro.http.client import http_request
+        from repro.server.baseline import BaselineServer
+
+        app = Application()
+        app.add_static("/img/x.gif", b"GIF89a-payload")
+        with BaselineServer(app, ConnectionPool(Database(), 2)) as server:
+            host, port = server.address
+            first = http_request(host, port, "/img/x.gif")
+            assert first.status == 200
+            etag = first.headers["etag"]
+            second = http_request(
+                host, port, "/img/x.gif",
+                headers={"If-None-Match": etag},
+            )
+            assert second.status == 304
+            assert second.body == b""
+
+
+class TestEmulatorCaching:
+    def test_browser_revalidates_images(self):
+        from repro.db.engine import Database
+        from repro.db.pool import ConnectionPool
+        from repro.server.baseline import BaselineServer
+        from repro.templates.engine import TemplateEngine
+
+        app = Application(templates=TemplateEngine(sources={
+            "p.html": '<html><img src="/img/x.gif"></html>',
+        }))
+        app.add_static("/img/x.gif", b"GIF89a")
+
+        @app.expose("/home")
+        def home(**params):
+            return ("p.html", {})
+
+        import threading
+
+        from repro.tpcw.emulator import EmulatedBrowser
+        from repro.tpcw.mix import BrowsingMix
+        from repro.util.rng import RandomStream
+
+        with BaselineServer(app, ConnectionPool(Database(), 2)) as server:
+            host, port = server.address
+            browser = EmulatedBrowser(
+                host, port,
+                BrowsingMix(RandomStream(1, "b"), customers=10, items=10,
+                            weights={"/home": 1.0}),
+                threading.Event(),
+            )
+            browser._interact("/home", {})
+            browser._interact("/home", {})
+            assert browser.images_not_modified >= 1

@@ -1,0 +1,64 @@
+"""ServerStats tests."""
+
+import pytest
+
+from repro.server.stats import ServerStats
+from repro.util.clock import ManualClock
+
+
+@pytest.fixture()
+def stats():
+    return ServerStats(ManualClock())
+
+
+class TestCompletions:
+    def test_counts_per_page(self, stats):
+        stats.record_completion("/a", "dynamic", 0.1)
+        stats.record_completion("/a", "dynamic", 0.3)
+        stats.record_completion("/b", "static", 0.01)
+        assert stats.completions() == {"/a": 2, "/b": 1}
+        assert stats.total_completions() == 3
+
+    def test_mean_response_times(self, stats):
+        stats.record_completion("/a", "dynamic", 0.1)
+        stats.record_completion("/a", "dynamic", 0.3)
+        assert stats.mean_response_times()["/a"] == pytest.approx(0.2)
+
+    def test_generation_times_separate(self, stats):
+        stats.record_generation_time("/a", 0.5)
+        assert stats.mean_generation_times() == {"/a": 0.5}
+        assert stats.mean_response_times() == {}
+
+
+class TestSeries:
+    def test_queue_sampling(self, stats):
+        clock = stats.clock
+        stats.sample_queue("general", 3)
+        clock.advance(1.0)
+        stats.sample_queue("general", 5)
+        series = stats.queue_series["general"]
+        assert series.values == [3.0, 5.0]
+        assert series.times == [0.0, 1.0]
+
+    def test_reserve_sampling(self, stats):
+        stats.sample_reserve(tspare=30, treserve=20)
+        assert stats.spare_series.values == [30.0]
+        assert stats.treserve_series.values == [20.0]
+
+    def test_throughput_series_buckets(self, stats):
+        clock = stats.clock
+        for _ in range(3):
+            stats.record_completion("/a", "dynamic", 0.1)
+        clock.advance(61.0)
+        stats.record_completion("/a", "dynamic", 0.1)
+        series = stats.throughput_series(60.0)
+        assert series.values == [3.0, 1.0]
+
+    def test_class_throughput_series(self, stats):
+        stats.record_completion("/a", "static", 0.1)
+        stats.record_completion("/b", "dynamic", 0.1)
+        static = stats.class_throughput_series("static", 60.0)
+        assert sum(static.values) == 1.0
+
+    def test_unknown_class_empty(self, stats):
+        assert len(stats.class_throughput_series("nope")) == 0

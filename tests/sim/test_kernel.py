@@ -1,0 +1,195 @@
+"""Discrete-event kernel tests."""
+
+import pytest
+
+from repro.sim.kernel import SimEvent, Simulation
+
+
+class TestScheduling:
+    def test_callbacks_run_in_time_order(self):
+        sim = Simulation()
+        order = []
+        sim.call_later(2.0, order.append, "b")
+        sim.call_later(1.0, order.append, "a")
+        sim.call_later(3.0, order.append, "c")
+        sim.run()
+        assert order == ["a", "b", "c"]
+        assert sim.now == 3.0
+
+    def test_ties_break_by_schedule_order(self):
+        sim = Simulation()
+        order = []
+        sim.call_later(1.0, order.append, 1)
+        sim.call_later(1.0, order.append, 2)
+        sim.run()
+        assert order == [1, 2]
+
+    def test_run_until_stops_early(self):
+        sim = Simulation()
+        fired = []
+        sim.call_later(5.0, fired.append, 1)
+        sim.run(until=2.0)
+        assert fired == []
+        assert sim.now == 2.0
+        sim.run()
+        assert fired == [1]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Simulation().call_later(-1.0, lambda: None)
+
+    def test_events_processed_counted(self):
+        sim = Simulation()
+        for _ in range(5):
+            sim.call_later(1.0, lambda: None)
+        sim.run()
+        assert sim.events_processed == 5
+
+
+class TestProcesses:
+    def test_delays_advance_time(self):
+        sim = Simulation()
+        log = []
+
+        def process():
+            log.append(sim.now)
+            yield 5.0
+            log.append(sim.now)
+            yield 2.5
+            log.append(sim.now)
+
+        sim.spawn(process())
+        sim.run()
+        assert log == [0.0, 5.0, 7.5]
+
+    def test_completion_event_carries_return_value(self):
+        sim = Simulation()
+
+        def process():
+            yield 1.0
+            return "result"
+
+        done = sim.spawn(process())
+        sim.run()
+        assert done.fired
+        assert done.value == "result"
+
+    def test_process_waiting_on_event(self):
+        sim = Simulation()
+        event = None
+        log = []
+
+        def waiter():
+            log.append("waiting")
+            value = yield event
+            log.append(f"got {value}")
+
+        event = sim.event()
+        sim.spawn(waiter())
+        sim.call_later(3.0, event.fire, 42)
+        sim.run()
+        assert log == ["waiting", "got 42"]
+        assert sim.now == 3.0
+
+    def test_multiple_waiters_all_resume(self):
+        sim = Simulation()
+        event = sim.event()
+        woken = []
+
+        def waiter(name):
+            yield event
+            woken.append(name)
+
+        sim.spawn(waiter("a"))
+        sim.spawn(waiter("b"))
+        sim.call_later(1.0, event.fire)
+        sim.run()
+        assert sorted(woken) == ["a", "b"]
+
+    def test_waiting_on_already_fired_event_resumes_immediately(self):
+        sim = Simulation()
+        event = sim.event()
+        event.fire("early")
+        got = []
+
+        def late_waiter():
+            value = yield event
+            got.append(value)
+
+        sim.spawn(late_waiter())
+        sim.run()
+        assert got == ["early"]
+
+    def test_nested_processes_via_spawn(self):
+        sim = Simulation()
+        log = []
+
+        def child():
+            yield 2.0
+            return "child-done"
+
+        def parent():
+            value = yield sim.spawn(child())
+            log.append((sim.now, value))
+
+        sim.spawn(parent())
+        sim.run()
+        assert log == [(2.0, "child-done")]
+
+    def test_yield_from_subroutines(self):
+        sim = Simulation()
+        log = []
+
+        def sub():
+            yield 1.0
+            yield 1.0
+
+        def main():
+            yield from sub()
+            log.append(sim.now)
+
+        sim.spawn(main())
+        sim.run()
+        assert log == [2.0]
+
+    def test_spawn_requires_generator(self):
+        sim = Simulation()
+        with pytest.raises(TypeError):
+            sim.spawn(lambda: None)
+
+    def test_bad_yield_type_raises(self):
+        sim = Simulation()
+
+        def bad():
+            yield "not a delay"
+
+        sim.spawn(bad())
+        with pytest.raises(TypeError):
+            sim.run()
+
+    def test_negative_yield_raises(self):
+        sim = Simulation()
+
+        def bad():
+            yield -1.0
+
+        sim.spawn(bad())
+        with pytest.raises(ValueError):
+            sim.run()
+
+
+class TestSimEvent:
+    def test_double_fire_rejected(self):
+        sim = Simulation()
+        event = sim.event()
+        event.fire()
+        with pytest.raises(RuntimeError):
+            event.fire()
+
+    def test_fire_in_delays(self):
+        sim = Simulation()
+        event = sim.event()
+        event.fire_in(4.0, "late")
+        sim.run()
+        assert event.fired
+        assert sim.now == 4.0

@@ -1,0 +1,270 @@
+"""Simulated resource tests: pools, processor sharing, locks."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.kernel import Simulation
+from repro.sim.resources import PSServer, SimLockTable, SimThreadPool
+
+
+class TestSimThreadPool:
+    def test_grants_up_to_size(self):
+        sim = Simulation()
+        pool = SimThreadPool(sim, "p", 2)
+        a, b, c = pool.acquire(), pool.acquire(), pool.acquire()
+        sim.run()
+        assert a.fired and b.fired and not c.fired
+        assert pool.busy == 2
+        assert pool.queue_length == 1
+
+    def test_release_wakes_fifo(self):
+        sim = Simulation()
+        pool = SimThreadPool(sim, "p", 1)
+        order = []
+
+        def worker(name, hold):
+            yield pool.acquire(tag=name)
+            order.append(f"{name}-start")
+            yield hold
+            pool.release()
+            order.append(f"{name}-end")
+
+        sim.spawn(worker("a", 2.0))
+        sim.spawn(worker("b", 1.0))
+        sim.spawn(worker("c", 1.0))
+        sim.run()
+        assert order == [
+            "a-start", "a-end", "b-start", "b-end", "c-start", "c-end",
+        ]
+
+    def test_spare_is_size_minus_busy(self):
+        sim = Simulation()
+        pool = SimThreadPool(sim, "p", 5)
+        pool.acquire()
+        pool.acquire()
+        sim.run()
+        assert pool.spare == 3
+
+    def test_tag_counting(self):
+        sim = Simulation()
+        pool = SimThreadPool(sim, "p", 1)
+        pool.acquire(tag="x")  # granted
+        pool.acquire(tag="dynamic")
+        pool.acquire(tag="dynamic")
+        pool.acquire(tag="static")
+        assert pool.queued_with_tag("dynamic") == 2
+        assert pool.queued_with_tag("static") == 1
+        assert pool.queued_with_tag("dynamic", "static") == 3
+
+    def test_release_without_acquire_raises(self):
+        sim = Simulation()
+        pool = SimThreadPool(sim, "p", 1)
+        with pytest.raises(RuntimeError):
+            pool.release()
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            SimThreadPool(Simulation(), "p", 0)
+
+
+class TestPSServer:
+    def test_single_job_runs_at_full_rate(self):
+        sim = Simulation()
+        server = PSServer(sim, "db", cores=4)
+        done = server.serve(3.0)
+        sim.run()
+        assert done.fired
+        assert sim.now == pytest.approx(3.0)
+
+    def test_jobs_within_capacity_unaffected(self):
+        sim = Simulation()
+        server = PSServer(sim, "db", cores=4)
+        finish_times = {}
+
+        def job(name, demand):
+            yield server.serve(demand)
+            finish_times[name] = sim.now
+
+        for i in range(4):
+            sim.spawn(job(i, 2.0))
+        sim.run()
+        assert all(t == pytest.approx(2.0) for t in finish_times.values())
+
+    def test_overload_stretches_proportionally(self):
+        sim = Simulation()
+        server = PSServer(sim, "db", cores=1)
+        finish_times = {}
+
+        def job(name):
+            yield server.serve(1.0)
+            finish_times[name] = sim.now
+
+        sim.spawn(job("a"))
+        sim.spawn(job("b"))
+        sim.run()
+        # Two unit jobs on one core, processor sharing: both end at 2.
+        assert finish_times["a"] == pytest.approx(2.0)
+        assert finish_times["b"] == pytest.approx(2.0)
+
+    def test_short_job_not_stuck_behind_long(self):
+        """The property FIFO lacks: a 10 ms query alongside a 10 s scan
+        finishes in ~20 ms, not 10 s."""
+        sim = Simulation()
+        server = PSServer(sim, "db", cores=1)
+        finish = {}
+
+        def job(name, demand):
+            yield server.serve(demand)
+            finish[name] = sim.now
+
+        sim.spawn(job("long", 10.0))
+        sim.spawn(job("short", 0.01))
+        sim.run()
+        assert finish["short"] < 0.05
+        assert finish["long"] == pytest.approx(10.01, abs=1e-6)
+
+    def test_late_arrival_shares_remaining(self):
+        sim = Simulation()
+        server = PSServer(sim, "db", cores=1)
+        finish = {}
+
+        def first():
+            yield server.serve(2.0)
+            finish["first"] = sim.now
+
+        def second():
+            yield 1.0  # arrives when first has 1.0 remaining
+            yield server.serve(1.0)
+            finish["second"] = sim.now
+
+        sim.spawn(first())
+        sim.spawn(second())
+        sim.run()
+        # From t=1: two jobs, each 1.0 remaining, rate 1/2 -> both at 3.
+        assert finish["first"] == pytest.approx(3.0)
+        assert finish["second"] == pytest.approx(3.0)
+
+    def test_zero_demand_completes_instantly(self):
+        sim = Simulation()
+        server = PSServer(sim, "db", cores=1)
+        done = server.serve(0.0)
+        assert done.fired
+
+    def test_negative_demand_rejected(self):
+        with pytest.raises(ValueError):
+            PSServer(Simulation(), "db", 1).serve(-1.0)
+
+    def test_jobs_served_counter(self):
+        sim = Simulation()
+        server = PSServer(sim, "db", cores=2)
+        server.serve(1.0)
+        server.serve(1.0)
+        sim.run()
+        assert server.jobs_served == 2
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.floats(min_value=0.01, max_value=10.0),
+                    min_size=1, max_size=10),
+           st.integers(min_value=1, max_value=4))
+    def test_work_conservation(self, demands, cores):
+        """Total completion time >= total demand / cores (can't beat
+        capacity) and every job finishes."""
+        sim = Simulation()
+        server = PSServer(sim, "db", cores=cores)
+        events = [server.serve(d) for d in demands]
+        sim.run()
+        assert all(e.fired for e in events)
+        lower_bound = max(sum(demands) / cores, max(demands))
+        assert sim.now >= lower_bound - 1e-6
+
+
+class TestSimLockTable:
+    def test_readers_never_blocked(self):
+        sim = Simulation()
+        locks = SimLockTable(sim)
+        for _ in range(10):
+            locks.acquire_read("item")
+        assert locks.active_readers("item") == 10
+
+    def test_writer_with_no_readers_granted_immediately(self):
+        sim = Simulation()
+        locks = SimLockTable(sim)
+        done = locks.acquire_write("item")
+        assert done.fired
+
+    def test_writer_waits_for_inflight_readers(self):
+        sim = Simulation()
+        locks = SimLockTable(sim)
+        token = locks.acquire_read("item")
+        write = locks.acquire_write("item")
+        assert not write.fired
+        locks.release_read("item", token)
+        assert write.fired
+
+    def test_grace_period_identity_based(self):
+        """The writer waits for the readers present at arrival — even
+        if other readers come and go meanwhile."""
+        sim = Simulation()
+        locks = SimLockTable(sim)
+        long_reader = locks.acquire_read("item")
+        write = locks.acquire_write("item")
+        late = locks.acquire_read("item")  # arrives after the writer
+        locks.release_read("item", late)
+        assert not write.fired  # still waiting on long_reader
+        locks.release_read("item", long_reader)
+        assert write.fired
+
+    def test_new_readers_not_blocked_by_waiting_writer(self):
+        sim = Simulation()
+        locks = SimLockTable(sim)
+        locks.acquire_read("item")
+        locks.acquire_write("item")
+        late = locks.acquire_read("item")
+        assert late is not None  # granted synchronously
+        assert locks.active_readers("item") == 2
+
+    def test_writers_serialise_fifo(self):
+        sim = Simulation()
+        locks = SimLockTable(sim)
+        first = locks.acquire_write("item")
+        second = locks.acquire_write("item")
+        assert first.fired and not second.fired
+        locks.release_write("item")
+        assert second.fired
+
+    def test_second_writer_waits_for_first_writers_snapshot_too(self):
+        sim = Simulation()
+        locks = SimLockTable(sim)
+        token = locks.acquire_read("item")
+        first = locks.acquire_write("item")
+        second = locks.acquire_write("item")
+        locks.release_read("item", token)
+        assert first.fired
+        assert not second.fired
+        locks.release_write("item")
+        assert second.fired
+
+    def test_tables_independent(self):
+        sim = Simulation()
+        locks = SimLockTable(sim)
+        locks.acquire_read("item")
+        write_other = locks.acquire_write("orders")
+        assert write_other.fired
+
+    def test_release_errors(self):
+        sim = Simulation()
+        locks = SimLockTable(sim)
+        with pytest.raises(RuntimeError):
+            locks.release_write("item")
+        token = locks.acquire_read("item")
+        locks.release_read("item", token)
+        with pytest.raises(RuntimeError):
+            locks.release_read("item", token)
+
+    def test_waiting_count(self):
+        sim = Simulation()
+        locks = SimLockTable(sim)
+        locks.acquire_read("item")
+        locks.acquire_write("item")
+        locks.acquire_write("item")
+        assert locks.waiting("item") == 2

@@ -1,0 +1,180 @@
+"""Simulated server model + workload tests (reduced scale)."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.dispatch import StrictSeparationDispatcher
+from repro.sim.results import SimResults
+from repro.sim.workload import (
+    DEFAULT_PROFILES,
+    LENGTHY_REPORT_PAGES,
+    PageProfile,
+    WorkloadConfig,
+    run_tpcw_simulation,
+)
+
+TINY = dict(clients=20, ramp_up=10, measure=120, cool_down=10,
+            baseline_workers=8, general_pool=8, lengthy_pool=2,
+            header_pool=2, static_pool=2, render_pool=2,
+            minimum_reserve=2, maximum_reserve=4, db_cores=20, web_cores=4)
+
+
+def tiny_config(**overrides):
+    merged = dict(TINY)
+    merged.update(overrides)
+    return WorkloadConfig(**merged)
+
+
+def fast_profiles(slow_demand=1.0):
+    """Reduced demands so tiny runs finish plenty of interactions."""
+    out = {}
+    for path, profile in DEFAULT_PROFILES.items():
+        demand = slow_demand if path in LENGTHY_REPORT_PAGES else (
+            profile.db_demand
+        )
+        out[path] = dataclasses.replace(profile, db_demand=demand, images=1)
+    return out
+
+
+class TestPageProfile:
+    def test_negative_demand_rejected(self):
+        with pytest.raises(ValueError):
+            PageProfile("/x", db_demand=-1, render_demand=0, read_tables=())
+
+    def test_write_table_requires_demand(self):
+        with pytest.raises(ValueError):
+            PageProfile("/x", db_demand=1, render_demand=0, read_tables=(),
+                        write_table="item", write_demand=0.0)
+
+    def test_negative_images_rejected(self):
+        with pytest.raises(ValueError):
+            PageProfile("/x", db_demand=1, render_demand=0, read_tables=(),
+                        images=-1)
+
+    def test_default_profiles_cover_browsing_mix(self):
+        from repro.tpcw.mix import BROWSING_MIX
+
+        assert set(DEFAULT_PROFILES) == set(BROWSING_MIX)
+
+    def test_slow_pages_above_cutoff(self):
+        """Default profiles: the lengthy report pages must exceed the
+        2 s classification cutoff so the staged dispatcher engages."""
+        for path in LENGTHY_REPORT_PAGES:
+            assert DEFAULT_PROFILES[path].db_demand > 2.0
+
+
+class TestWorkloadConfig:
+    def test_duration(self):
+        config = WorkloadConfig(ramp_up=10, measure=100, cool_down=5)
+        assert config.duration == 115
+
+    def test_quick_preset_smaller_than_paper(self):
+        quick, paper = WorkloadConfig.quick(), WorkloadConfig.paper()
+        assert quick.clients < paper.clients
+        assert quick.measure < paper.measure
+
+    def test_invalid_clients(self):
+        with pytest.raises(ValueError):
+            WorkloadConfig(clients=0)
+
+    def test_reserve_bounded_by_pool(self):
+        with pytest.raises(ValueError):
+            WorkloadConfig(general_pool=4, minimum_reserve=10)
+
+
+class TestSimulationRuns:
+    @pytest.mark.parametrize("kind", ["baseline", "staged"])
+    def test_completes_interactions(self, kind):
+        results = run_tpcw_simulation(kind, tiny_config(),
+                                      profiles=fast_profiles())
+        assert results.total_completions() > 50
+        assert results.mean_response_times()
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            run_tpcw_simulation("hybrid", tiny_config())
+
+    def test_deterministic_given_seed(self):
+        a = run_tpcw_simulation("staged", tiny_config(seed=7),
+                                profiles=fast_profiles())
+        b = run_tpcw_simulation("staged", tiny_config(seed=7),
+                                profiles=fast_profiles())
+        assert a.completions == b.completions
+        assert a.mean_response_times() == b.mean_response_times()
+
+    def test_different_seeds_differ(self):
+        a = run_tpcw_simulation("staged", tiny_config(seed=1),
+                                profiles=fast_profiles())
+        b = run_tpcw_simulation("staged", tiny_config(seed=2),
+                                profiles=fast_profiles())
+        assert a.completions != b.completions
+
+    def test_measurement_window_respected(self):
+        config = tiny_config()
+        results = run_tpcw_simulation("baseline", config,
+                                      profiles=fast_profiles())
+        # Queue samples span the whole run; completions only the window.
+        assert results.measure_start == config.ramp_up
+        assert results.measure_end == config.ramp_up + config.measure
+
+    def test_queue_series_recorded(self):
+        baseline = run_tpcw_simulation("baseline", tiny_config(),
+                                       profiles=fast_profiles())
+        assert "dynamic" in baseline.queue_series
+        staged = run_tpcw_simulation("staged", tiny_config(),
+                                     profiles=fast_profiles())
+        assert {"general", "lengthy", "static", "render",
+                "header"} <= set(staged.queue_series)
+
+    def test_reserve_series_only_for_staged(self):
+        staged = run_tpcw_simulation("staged", tiny_config(),
+                                     profiles=fast_profiles())
+        assert len(staged.treserve_series) > 0
+        assert len(staged.spare_series) > 0
+
+    def test_custom_dispatcher_ablation(self):
+        results = run_tpcw_simulation(
+            "staged", tiny_config(), profiles=fast_profiles(),
+            dispatcher=StrictSeparationDispatcher(),
+        )
+        assert results.total_completions() > 0
+
+    def test_figure10_classes_recorded(self):
+        results = run_tpcw_simulation("staged", tiny_config(),
+                                      profiles=fast_profiles())
+        for request_class in ("static", "dynamic", "quick", "lengthy"):
+            series = results.throughput_series(60.0, request_class)
+            assert sum(series.values) > 0, request_class
+
+    def test_generation_excludes_render(self):
+        """Generation time is the DB phase only; response time includes
+        queues, render, and images — so response >= generation."""
+        results = run_tpcw_simulation("staged", tiny_config(),
+                                      profiles=fast_profiles())
+        responses = results.mean_response_times()
+        for page, generation in results.generation_times.items():
+            if page in responses and generation.count:
+                assert responses[page] >= generation.mean * 0.5
+
+
+class TestSimResults:
+    def test_window_filtering(self):
+        results = SimResults(measure_start=10.0, measure_end=20.0)
+        results.record_interaction(5.0, "/a", 1.0)    # before window
+        results.record_interaction(15.0, "/a", 1.0)   # inside
+        results.record_interaction(25.0, "/a", 1.0)   # after
+        assert results.completions == {"/a": 1}
+
+    def test_throughput_series_windowed(self):
+        results = SimResults(measure_start=0.0, measure_end=120.0)
+        results.record_request(30.0, "static")
+        results.record_request(90.0, "static")
+        series = results.throughput_series(60.0)
+        assert series.values == [1.0, 1.0]
+
+    def test_unknown_class_series_empty(self):
+        results = SimResults()
+        results.measure_end = 60.0
+        series = results.throughput_series(60.0, "nope")
+        assert sum(series.values) == 0

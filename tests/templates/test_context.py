@@ -1,0 +1,108 @@
+"""Render context tests: scoping and dotted lookup."""
+
+import pytest
+
+from repro.templates.context import MISSING, Context
+
+
+class Thing:
+    def __init__(self):
+        self.name = "widget"
+        self._secret = "hidden"
+
+    def shout(self):
+        return "WIDGET"
+
+
+class TestScoping:
+    def test_root_lookup(self):
+        context = Context({"a": 1})
+        assert context.get("a") == 1
+
+    def test_inner_scope_shadows(self):
+        context = Context({"a": 1})
+        context.push({"a": 2})
+        assert context.get("a") == 2
+        context.pop()
+        assert context.get("a") == 1
+
+    def test_pop_root_rejected(self):
+        with pytest.raises(IndexError):
+            Context().pop()
+
+    def test_context_manager_pushes_and_pops(self):
+        context = Context({"a": 1})
+        with context:
+            context["a"] = 2
+            assert context.get("a") == 2
+        assert context.get("a") == 1
+
+    def test_setitem_writes_innermost(self):
+        context = Context({"a": 1})
+        context.push()
+        context["b"] = 2
+        assert "b" in context
+        context.pop()
+        assert context.get("b") is None
+
+    def test_flatten_merges_scopes(self):
+        context = Context({"a": 1, "b": 1})
+        context.push({"b": 2})
+        assert context.flatten() == {"a": 1, "b": 2}
+
+    def test_get_default(self):
+        assert Context().get("missing", 42) == 42
+
+
+class TestDottedResolution:
+    def test_dict_key(self):
+        context = Context({"user": {"name": "eli"}})
+        assert context.resolve("user.name") == "eli"
+
+    def test_nested_dicts(self):
+        context = Context({"a": {"b": {"c": 3}}})
+        assert context.resolve("a.b.c") == 3
+
+    def test_list_index(self):
+        context = Context({"items": ["x", "y"]})
+        assert context.resolve("items.1") == "y"
+
+    def test_attribute(self):
+        context = Context({"thing": Thing()})
+        assert context.resolve("thing.name") == "widget"
+
+    def test_callable_called(self):
+        context = Context({"thing": Thing()})
+        assert context.resolve("thing.shout") == "WIDGET"
+
+    def test_callable_in_dict_called(self):
+        context = Context({"d": {"f": lambda: 7}})
+        assert context.resolve("d.f") == 7
+
+    def test_missing_name(self):
+        assert Context().resolve("nope") is MISSING
+
+    def test_missing_key(self):
+        context = Context({"d": {}})
+        assert context.resolve("d.nope") is MISSING
+
+    def test_index_out_of_range(self):
+        context = Context({"items": []})
+        assert context.resolve("items.0") is MISSING
+
+    def test_private_attribute_refused(self):
+        context = Context({"thing": Thing()})
+        assert context.resolve("thing._secret") is MISSING
+
+    def test_none_is_valid_value_not_missing(self):
+        context = Context({"x": None})
+        assert context.resolve("x") is None
+
+    def test_negative_index(self):
+        context = Context({"items": [1, 2, 3]})
+        assert context.resolve("items.-1") == 3
+
+    def test_inner_scope_resolution(self):
+        context = Context({"x": {"v": 1}})
+        context.push({"x": {"v": 2}})
+        assert context.resolve("x.v") == 2

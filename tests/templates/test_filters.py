@@ -1,0 +1,180 @@
+"""Built-in filter tests."""
+
+import pytest
+
+from repro.templates.filters import (
+    FILTERS,
+    SafeString,
+    escape_html,
+    register_filter,
+)
+
+
+class TestEscaping:
+    def test_escapes_all_specials(self):
+        assert escape_html('<a href="x">&\'</a>') == (
+            "&lt;a href=&quot;x&quot;&gt;&amp;&#39;&lt;/a&gt;"
+        )
+
+    def test_safe_string_untouched(self):
+        assert escape_html(SafeString("<b>")) == "<b>"
+
+    def test_non_string_coerced(self):
+        assert escape_html(42) == "42"
+
+
+class TestTextFilters:
+    def test_upper(self):
+        assert FILTERS["upper"]("abc") == "ABC"
+
+    def test_lower(self):
+        assert FILTERS["lower"]("ABC") == "abc"
+
+    def test_capfirst(self):
+        assert FILTERS["capfirst"]("hello world") == "Hello world"
+
+    def test_capfirst_empty(self):
+        assert FILTERS["capfirst"]("") == ""
+
+    def test_title(self):
+        assert FILTERS["title"]("the big book") == "The Big Book"
+
+    def test_upper_rejects_argument(self):
+        with pytest.raises(ValueError):
+            FILTERS["upper"]("x", "arg")
+
+
+class TestCollectionFilters:
+    def test_length(self):
+        assert FILTERS["length"]([1, 2, 3]) == 3
+
+    def test_length_of_non_sized(self):
+        assert FILTERS["length"](42) == 0
+
+    def test_join(self):
+        assert FILTERS["join"](["a", "b"], ", ") == "a, b"
+
+    def test_join_coerces_items(self):
+        assert FILTERS["join"]([1, 2], "-") == "1-2"
+
+    def test_first(self):
+        assert FILTERS["first"]([9, 8]) == 9
+
+    def test_first_empty(self):
+        assert FILTERS["first"]([]) == ""
+
+
+class TestDefaultFilter:
+    def test_falsy_replaced(self):
+        assert FILTERS["default"]("", "fallback") == "fallback"
+        assert FILTERS["default"](None, "fallback") == "fallback"
+        assert FILTERS["default"](0, "fallback") == "fallback"
+
+    def test_truthy_kept(self):
+        assert FILTERS["default"]("value", "fallback") == "value"
+
+    def test_requires_argument(self):
+        with pytest.raises(ValueError):
+            FILTERS["default"]("x")
+
+
+class TestNumericFilters:
+    def test_floatformat_default_one_place(self):
+        assert FILTERS["floatformat"](3.14159) == "3.1"
+
+    def test_floatformat_places(self):
+        assert FILTERS["floatformat"](3.14159, "3") == "3.142"
+
+    def test_floatformat_non_numeric_passthrough(self):
+        assert FILTERS["floatformat"]("n/a") == "n/a"
+
+    def test_floatformat_bad_arg(self):
+        with pytest.raises(ValueError):
+            FILTERS["floatformat"](1.0, "x")
+
+    def test_add_integers(self):
+        assert FILTERS["add"]("4", "3") == 7
+
+    def test_add_falls_back_to_concat(self):
+        assert FILTERS["add"]("a", "b") == "ab"
+
+
+class TestTruncation:
+    def test_truncatewords(self):
+        assert FILTERS["truncatewords"]("one two three four", "2") == (
+            "one two ..."
+        )
+
+    def test_truncatewords_short_text_unchanged(self):
+        assert FILTERS["truncatewords"]("one two", "5") == "one two"
+
+    def test_truncatechars(self):
+        assert FILTERS["truncatechars"]("abcdefgh", "5") == "ab..."
+
+    def test_truncatechars_short_unchanged(self):
+        assert FILTERS["truncatechars"]("abc", "5") == "abc"
+
+
+class TestSafetyFilters:
+    def test_safe_returns_safe_string(self):
+        assert isinstance(FILTERS["safe"]("<b>"), SafeString)
+
+    def test_escape_is_safe_and_escaped(self):
+        result = FILTERS["escape"]("<b>")
+        assert result == "&lt;b&gt;"
+        assert isinstance(result, SafeString)
+
+
+class TestUrlencode:
+    def test_basic(self):
+        assert FILTERS["urlencode"]("a b&c") == "a%20b%26c"
+
+    def test_preserves_safe_chars(self):
+        assert FILTERS["urlencode"]("/path-x_y.z~") == "/path-x_y.z~"
+
+    def test_unicode(self):
+        assert FILTERS["urlencode"]("é") == "%C3%A9"
+
+
+class TestPluralizeYesno:
+    def test_pluralize_default(self):
+        assert FILTERS["pluralize"](1) == ""
+        assert FILTERS["pluralize"](2) == "s"
+
+    def test_pluralize_custom_pair(self):
+        assert FILTERS["pluralize"](1, "y,ies") == "y"
+        assert FILTERS["pluralize"](3, "y,ies") == "ies"
+
+    def test_pluralize_on_sequence(self):
+        assert FILTERS["pluralize"]([1]) == ""
+        assert FILTERS["pluralize"]([1, 2]) == "s"
+
+    def test_yesno(self):
+        assert FILTERS["yesno"](True) == "yes"
+        assert FILTERS["yesno"](False) == "no"
+
+    def test_yesno_custom_with_none(self):
+        assert FILTERS["yesno"](None, "y,n,maybe") == "maybe"
+
+    def test_yesno_requires_two_choices(self):
+        with pytest.raises(ValueError):
+            FILTERS["yesno"](True, "only")
+
+
+class TestRegisterFilter:
+    def test_decorator_registration(self):
+        @register_filter("test_reverse_xyz")
+        def _reverse(value, arg=None):
+            return str(value)[::-1]
+
+        try:
+            assert FILTERS["test_reverse_xyz"]("abc") == "cba"
+        finally:
+            del FILTERS["test_reverse_xyz"]
+
+    def test_direct_registration(self):
+        register_filter("test_identity_xyz", lambda v, a=None: v)
+        try:
+            assert FILTERS["test_identity_xyz"](5) == 5
+        finally:
+            del FILTERS["test_identity_xyz"]

@@ -1,0 +1,158 @@
+"""Template inheritance tests: {% extends %} / {% block %}."""
+
+import pytest
+
+from repro.templates import TemplateEngine, TemplateSyntaxError
+
+
+def engine(**sources):
+    return TemplateEngine(sources=sources)
+
+
+BASE = (
+    "<title>{% block title %}Default{% endblock %}</title>"
+    "<main>{% block content %}fallback{% endblock %}</main>"
+)
+
+
+class TestBlocks:
+    def test_block_renders_default_content(self):
+        eng = engine(**{"base.html": BASE})
+        out = eng.render("base.html", {})
+        assert out == "<title>Default</title><main>fallback</main>"
+
+    def test_block_with_dynamic_default(self):
+        eng = engine(**{
+            "t.html": "{% block x %}{{ v }}{% endblock %}",
+        })
+        assert eng.render("t.html", {"v": 7}) == "7"
+
+    def test_block_requires_name(self):
+        with pytest.raises(TemplateSyntaxError):
+            engine(**{"t.html": "{% block %}{% endblock %}"}).render("t.html")
+
+    def test_block_requires_endblock(self):
+        with pytest.raises(TemplateSyntaxError):
+            engine(**{"t.html": "{% block x %}"}).render("t.html")
+
+
+class TestExtends:
+    def test_child_overrides_block(self):
+        eng = engine(**{
+            "base.html": BASE,
+            "child.html": (
+                '{% extends "base.html" %}'
+                "{% block title %}Child{% endblock %}"
+            ),
+        })
+        out = eng.render("child.html", {})
+        assert out == "<title>Child</title><main>fallback</main>"
+
+    def test_unoverridden_blocks_keep_defaults(self):
+        eng = engine(**{
+            "base.html": BASE,
+            "child.html": (
+                '{% extends "base.html" %}'
+                "{% block content %}body{% endblock %}"
+            ),
+        })
+        assert eng.render("child.html", {}) == (
+            "<title>Default</title><main>body</main>"
+        )
+
+    def test_child_blocks_see_context(self):
+        eng = engine(**{
+            "base.html": BASE,
+            "child.html": (
+                '{% extends "base.html" %}'
+                "{% block title %}{{ name|upper }}{% endblock %}"
+            ),
+        })
+        assert "<title>ELI</title>" in eng.render("child.html",
+                                                  {"name": "eli"})
+
+    def test_text_outside_blocks_ignored_in_child(self):
+        eng = engine(**{
+            "base.html": BASE,
+            "child.html": (
+                '{% extends "base.html" %}IGNORED'
+                "{% block title %}T{% endblock %}ALSO IGNORED"
+            ),
+        })
+        out = eng.render("child.html", {})
+        assert "IGNORED" not in out
+
+    def test_three_level_chain_innermost_wins(self):
+        eng = engine(**{
+            "base.html": BASE,
+            "child.html": (
+                '{% extends "base.html" %}'
+                "{% block title %}child-title{% endblock %}"
+                "{% block content %}child-content{% endblock %}"
+            ),
+            "grandchild.html": (
+                '{% extends "child.html" %}'
+                "{% block content %}from-the-grandchild{% endblock %}"
+            ),
+        })
+        out = eng.render("grandchild.html", {})
+        assert "child-title" in out
+        assert "from-the-grandchild" in out
+        assert "child-content" not in out
+
+    def test_loops_and_conditionals_inside_blocks(self):
+        eng = engine(**{
+            "base.html": "{% block items %}{% endblock %}",
+            "child.html": (
+                '{% extends "base.html" %}{% block items %}'
+                "{% for x in xs %}{{ x }};{% endfor %}"
+                "{% endblock %}"
+            ),
+        })
+        assert eng.render("child.html", {"xs": [1, 2]}) == "1;2;"
+
+    def test_base_may_include_partials(self):
+        eng = engine(**{
+            "part.html": "[partial]",
+            "base.html": '{% include "part.html" %}{% block b %}{% endblock %}',
+            "child.html": (
+                '{% extends "base.html" %}{% block b %}X{% endblock %}'
+            ),
+        })
+        assert eng.render("child.html", {}) == "[partial]X"
+
+    def test_dynamic_parent_name(self):
+        eng = engine(**{
+            "base.html": BASE,
+            "child.html": (
+                "{% extends which %}{% block title %}D{% endblock %}"
+            ),
+        })
+        out = eng.render("child.html", {"which": "base.html"})
+        assert "<title>D</title>" in out
+
+    def test_duplicate_block_in_child_rejected(self):
+        with pytest.raises(TemplateSyntaxError):
+            engine(**{
+                "t.html": (
+                    '{% extends "b" %}'
+                    "{% block x %}1{% endblock %}"
+                    "{% block x %}2{% endblock %}"
+                ),
+            }).render("t.html")
+
+    def test_extends_requires_argument(self):
+        with pytest.raises(TemplateSyntaxError):
+            engine(**{"t.html": "{% extends %}"}).render("t.html")
+
+    def test_block_overrides_do_not_leak_between_renders(self):
+        eng = engine(**{
+            "base.html": BASE,
+            "child.html": (
+                '{% extends "base.html" %}'
+                "{% block title %}Child{% endblock %}"
+            ),
+        })
+        assert "Child" in eng.render("child.html", {})
+        # A direct render of the base afterwards must use defaults.
+        assert "Default" in eng.render("base.html", {})

@@ -1,0 +1,86 @@
+"""Template lexer tests."""
+
+import pytest
+
+from repro.templates.errors import TemplateSyntaxError
+from repro.templates.lexer import Token, TokenType, iter_tag_parts, tokenize
+
+
+class TestTokenize:
+    def test_plain_text(self):
+        tokens = tokenize("hello world")
+        assert [t.type for t in tokens] == [TokenType.TEXT]
+        assert tokens[0].content == "hello world"
+
+    def test_variable_tag(self):
+        tokens = tokenize("{{ name }}")
+        assert tokens == [Token(TokenType.VARIABLE, "name", 1)]
+
+    def test_block_tag(self):
+        tokens = tokenize("{% for x in items %}")
+        assert tokens[0].type is TokenType.TAG
+        assert tokens[0].content == "for x in items"
+
+    def test_comment_stripped_content(self):
+        tokens = tokenize("{# note #}")
+        assert tokens[0].type is TokenType.COMMENT
+
+    def test_mixed_sequence(self):
+        tokens = tokenize("a{{ b }}c{% if d %}e{% endif %}")
+        assert [t.type for t in tokens] == [
+            TokenType.TEXT, TokenType.VARIABLE, TokenType.TEXT,
+            TokenType.TAG, TokenType.TEXT, TokenType.TAG,
+        ]
+
+    def test_line_numbers(self):
+        tokens = tokenize("line1\nline2 {{ x }}\n{{ y }}")
+        variables = [t for t in tokens if t.type is TokenType.VARIABLE]
+        assert variables[0].line == 2
+        assert variables[1].line == 3
+
+    def test_empty_source(self):
+        assert tokenize("") == []
+
+    def test_unclosed_variable_rejected(self):
+        with pytest.raises(TemplateSyntaxError):
+            tokenize("text {{ name")
+
+    def test_unclosed_tag_rejected(self):
+        with pytest.raises(TemplateSyntaxError):
+            tokenize("{% if x")
+
+    def test_empty_variable_rejected(self):
+        with pytest.raises(TemplateSyntaxError):
+            tokenize("{{ }}")
+
+    def test_empty_tag_rejected(self):
+        with pytest.raises(TemplateSyntaxError):
+            tokenize("{%  %}")
+
+    def test_multiline_tag_content(self):
+        tokens = tokenize("{% if a\n and b %}x{% endif %}")
+        assert tokens[0].content == "if a\n and b"
+
+
+class TestIterTagParts:
+    def test_simple_split(self):
+        assert list(iter_tag_parts("for x in items")) == [
+            "for", "x", "in", "items",
+        ]
+
+    def test_quoted_strings_kept_whole(self):
+        assert list(iter_tag_parts('include "a b.html"')) == [
+            "include", '"a b.html"',
+        ]
+
+    def test_single_quotes(self):
+        assert list(iter_tag_parts("include 'x.html'")) == [
+            "include", "'x.html'",
+        ]
+
+    def test_unterminated_string_rejected(self):
+        with pytest.raises(TemplateSyntaxError):
+            list(iter_tag_parts('include "broken'))
+
+    def test_extra_whitespace_collapsed(self):
+        assert list(iter_tag_parts("  if   x  ")) == ["if", "x"]

@@ -1,0 +1,97 @@
+"""Emulated-browser unit tests (regexes, merging, encoding)."""
+
+import threading
+
+import pytest
+
+from repro.tpcw.emulator import (
+    _IMG_RE,
+    _SC_ID_RE,
+    BrowserFleet,
+    EmulatedBrowser,
+    encode_params,
+)
+from repro.tpcw.mix import BrowsingMix
+from repro.util.rng import RandomStream
+
+
+class TestRegexes:
+    def test_sc_id_extraction(self):
+        html = '<input type="hidden" name="sc_id" value="42">'
+        assert _SC_ID_RE.search(html).group(1) == "42"
+
+    def test_sc_id_absent(self):
+        assert _SC_ID_RE.search("<html>no cart</html>") is None
+
+    def test_image_extraction(self):
+        html = (
+            '<img src="/img/a.gif"> text <img src="/img/thumb_3.gif" alt="">'
+            '<img src="http://elsewhere/x.gif">'
+        )
+        assert _IMG_RE.findall(html) == ["/img/a.gif", "/img/thumb_3.gif"]
+
+
+class TestEncodeParams:
+    def test_empty(self):
+        assert encode_params({}) == ""
+
+    def test_multiple(self):
+        out = encode_params({"a": "1", "b": "2"})
+        assert out.startswith("?")
+        assert "a=1" in out and "b=2" in out
+
+    def test_space_and_specials(self):
+        assert encode_params({"q": "a b&c=d"}) == "?q=a+b%26c%3Dd"
+
+    def test_percent_escaped_first(self):
+        assert encode_params({"q": "50%"}) == "?q=50%25"
+
+
+class TestFleetAggregation:
+    def _fleet(self):
+        fleet = BrowserFleet("127.0.0.1", 1, clients=2, customers=10,
+                             items=10)
+        return fleet
+
+    def test_completions_merged(self):
+        fleet = self._fleet()
+        fleet.browsers[0].completions = {"/home": 2, "/a": 1}
+        fleet.browsers[1].completions = {"/home": 3}
+        assert fleet.completions() == {"/home": 5, "/a": 1}
+        assert fleet.total_completions() == 6
+
+    def test_response_time_weighted_merge(self):
+        from repro.util.timeseries import WelfordAccumulator
+
+        fleet = self._fleet()
+        a = WelfordAccumulator()
+        a.extend([1.0, 1.0])
+        b = WelfordAccumulator()
+        b.extend([4.0])
+        fleet.browsers[0].response_times = {"/home": a}
+        fleet.browsers[1].response_times = {"/home": b}
+        assert fleet.mean_response_times()["/home"] == pytest.approx(2.0)
+
+    def test_errors_merged(self):
+        fleet = self._fleet()
+        fleet.browsers[0].errors = ["x"]
+        fleet.browsers[1].errors = ["y"]
+        assert sorted(fleet.errors()) == ["x", "y"]
+
+    def test_invalid_client_count(self):
+        with pytest.raises(ValueError):
+            BrowserFleet("h", 1, clients=0, customers=1, items=1)
+
+    def test_browser_stops_on_event(self):
+        stop = threading.Event()
+        browser = EmulatedBrowser(
+            "127.0.0.1", 9,  # discard port: connections fail fast
+            BrowsingMix(RandomStream(1, "x"), customers=5, items=5),
+            stop,
+            think_scale=0.01,
+            timeout=0.1,
+        )
+        browser.start()
+        stop.set()
+        browser.join(timeout=5)
+        assert not browser.is_alive()

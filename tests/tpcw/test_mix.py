@@ -1,0 +1,115 @@
+"""Browsing mix and session parameter tests."""
+
+import pytest
+
+from repro.tpcw.app import PAGES
+from repro.tpcw.mix import (
+    BROWSING_MIX,
+    PAPER_PAGE_NAMES,
+    BrowsingMix,
+    normalized_mix,
+)
+from repro.util.rng import RandomStream
+
+
+def make_mix(seed=1, customers=100, items=60, weights=None):
+    return BrowsingMix(RandomStream(seed, "mix"), customers=customers,
+                       items=items, weights=weights)
+
+
+class TestWeights:
+    def test_mix_covers_all_pages(self):
+        assert set(BROWSING_MIX) == set(PAGES)
+
+    def test_normalized_sums_to_one(self):
+        assert sum(normalized_mix().values()) == pytest.approx(1.0)
+
+    def test_home_is_most_frequent(self):
+        mix = normalized_mix()
+        assert max(mix, key=mix.get) == "/home"
+
+    def test_sampled_distribution_tracks_weights(self):
+        mix = make_mix()
+        counts = {path: 0 for path in BROWSING_MIX}
+        n = 20000
+        for _ in range(n):
+            path, _ = mix.next_interaction()
+            counts[path] += 1
+        expected = normalized_mix()
+        for path in ("/home", "/product_detail", "/best_sellers"):
+            assert counts[path] / n == pytest.approx(expected[path], abs=0.02)
+
+    def test_custom_weights(self):
+        mix = make_mix(weights={"/home": 1.0})
+        for _ in range(50):
+            path, _ = mix.next_interaction()
+            assert path == "/home"
+
+
+class TestParams:
+    def test_params_valid_for_every_page(self):
+        mix = make_mix()
+        for path in PAGES:
+            params = mix.params_for(path)
+            assert all(isinstance(v, str) for v in params.values()), path
+
+    def test_item_ids_within_population(self):
+        mix = make_mix(items=10)
+        for _ in range(200):
+            params = mix.params_for("/product_detail")
+            assert 1 <= int(params["i_id"]) <= 10
+
+    def test_customer_identity_stable_within_session(self):
+        mix = make_mix()
+        unames = {
+            mix.params_for("/customer_registration")["uname"]
+            for _ in range(10)
+        }
+        assert len(unames) == 1
+
+    def test_cart_id_flows_after_note_cart(self):
+        mix = make_mix()
+        assert mix.params_for("/buy_request")["sc_id"] == "0"
+        mix.note_cart(42)
+        assert mix.params_for("/buy_request")["sc_id"] == "42"
+        assert mix.params_for("/buy_confirm")["sc_id"] == "42"
+
+    def test_note_cart_ignores_zero(self):
+        mix = make_mix()
+        mix.note_cart(7)
+        mix.note_cart(0)
+        assert mix.cart_id == 7
+
+    def test_unknown_page_rejected(self):
+        with pytest.raises(ValueError):
+            make_mix().params_for("/nope")
+
+    def test_search_params_have_type_and_string(self):
+        mix = make_mix()
+        for _ in range(50):
+            params = mix.params_for("/execute_search")
+            assert params["search_type"] in ("author", "title", "subject")
+            assert params["search_string"]
+
+    def test_think_time_in_standard_range(self):
+        mix = make_mix()
+        for _ in range(200):
+            assert 0.7 <= mix.think_time() <= 7.0
+
+    def test_population_validated(self):
+        with pytest.raises(ValueError):
+            make_mix(customers=0)
+
+
+class TestDeterminism:
+    def test_same_seed_same_sequence(self):
+        a, b = make_mix(seed=9), make_mix(seed=9)
+        for _ in range(50):
+            assert a.next_interaction() == b.next_interaction()
+
+    def test_paper_names_are_table3_labels(self):
+        assert PAPER_PAGE_NAMES["/home"] == "TPC-W home interaction"
+        assert (
+            PAPER_PAGE_NAMES["/shopping_cart"]
+            == "TPC-W shopping cart interaction"
+        )

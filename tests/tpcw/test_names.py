@@ -1,0 +1,82 @@
+"""Data-generation helper tests."""
+
+import pytest
+
+from repro.tpcw import names
+from repro.util.rng import RandomStream
+
+
+@pytest.fixture()
+def rng():
+    return RandomStream(11, "names")
+
+
+class TestDeterministicIdentifiers:
+    def test_user_name_round_trips_customer_id(self):
+        assert names.user_name(42) == "user42"
+
+    def test_password_and_email(self):
+        assert names.password(7) == "pw7"
+        assert names.email(7) == "user7@example.com"
+
+    def test_isbn_fixed_width(self):
+        assert names.isbn(12) == "ISBN000000012"
+        assert len(names.isbn(999_999)) == 13
+
+    def test_author_last_name_deterministic(self):
+        assert names.author_last_name(3) == names.author_last_name(3)
+
+    def test_subject_for_wraps(self):
+        assert names.subject_for(0) == names.SUBJECTS[0]
+        assert names.subject_for(24) == names.SUBJECTS[0]
+        assert names.subject_for(25) == names.SUBJECTS[1]
+
+
+class TestTpcwConstants:
+    def test_twenty_four_subjects(self):
+        assert len(names.SUBJECTS) == 24
+        assert len(set(names.SUBJECTS)) == 24
+
+    def test_countries_have_exchange_rates(self):
+        rows = names.countries()
+        assert len(rows) == 10
+        for name, currency, exchange in rows:
+            assert name and currency
+            assert exchange > 0
+
+
+class TestRandomFields:
+    def test_book_title_shape(self, rng):
+        for _ in range(50):
+            title = names.book_title(rng)
+            assert title.startswith("The ")
+            assert 3 <= len(title.split()) <= 5
+
+    def test_date_string_format_and_range(self, rng):
+        for _ in range(100):
+            date = names.date_string(rng, 1990, 2008)
+            year, month, day = date.split("-")
+            assert 1990 <= int(year) <= 2008
+            assert 1 <= int(month) <= 12
+            assert 1 <= int(day) <= 28
+            assert len(date) == 10
+
+    def test_zip_code_five_digits(self, rng):
+        for _ in range(20):
+            assert len(names.zip_code(rng)) == 5
+
+    def test_phone_format(self, rng):
+        parts = names.phone(rng).split("-")
+        assert [len(p) for p in parts] == [3, 3, 4]
+
+    def test_credit_card_sixteen_digits(self, rng):
+        number = names.credit_card_number(rng)
+        assert len(number) == 16
+        assert number.isdigit()
+
+    def test_paragraph_sentence_count(self, rng):
+        assert names.paragraph(rng, sentences=4).count(".") == 4
+
+    def test_street_has_number_and_suffix(self, rng):
+        street = names.street(rng)
+        assert street.split()[0].isdigit()

@@ -1,0 +1,145 @@
+"""TPC-W schema and population tests."""
+
+import pytest
+
+from repro.db.engine import Database
+from repro.tpcw.population import PopulationScale, populate
+from repro.tpcw.schema import create_schema
+
+EXPECTED_TABLES = {
+    "country", "address", "customer", "author", "item", "orders",
+    "order_line", "cc_xacts", "shopping_cart", "shopping_cart_line",
+}
+
+
+class TestSchema:
+    def test_all_tables_created(self, empty_database):
+        create_schema(empty_database)
+        assert set(empty_database.tables) == EXPECTED_TABLES
+
+    def test_quick_page_columns_indexed(self, empty_database):
+        create_schema(empty_database)
+        item = empty_database.table("item")
+        assert item.index_on("i_id") is not None
+        assert item.index_on("i_a_id") is not None
+        customer = empty_database.table("customer")
+        assert customer.index_on("c_uname") is not None
+        orders = empty_database.table("orders")
+        assert orders.index_on("o_c_id") is not None
+        order_line = empty_database.table("order_line")
+        assert order_line.index_on("ol_o_id") is not None
+
+    def test_slow_page_columns_deliberately_unindexed(self, empty_database):
+        """The paper's three slow pages must scan: indexing these would
+        'change the TPC-W benchmark itself' (§4.2.1)."""
+        create_schema(empty_database)
+        item = empty_database.table("item")
+        assert item.index_on("i_subject") is None
+        assert item.index_on("i_title") is None
+        assert item.index_on("i_pub_date") is None
+        author = empty_database.table("author")
+        assert author.index_on("a_lname") is None
+
+
+class TestPopulationScale:
+    def test_default_is_paper_over_1000(self):
+        scale = PopulationScale.default()
+        assert scale.items == 1_000
+        assert scale.customers == 2_880
+        assert scale.orders == 2_590
+
+    def test_fraction_of_paper(self):
+        scale = PopulationScale.fraction_of_paper(0.001)
+        assert scale.items == 1_000
+        assert scale.customers == 2_880
+
+    def test_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            PopulationScale.fraction_of_paper(0.0)
+        with pytest.raises(ValueError):
+            PopulationScale.fraction_of_paper(1.5)
+
+    def test_authors_quarter_of_items(self):
+        assert PopulationScale(items=100, customers=10, orders=10).authors == 25
+
+    def test_counts_validated(self):
+        with pytest.raises(ValueError):
+            PopulationScale(items=0, customers=1, orders=1)
+
+
+class TestPopulate:
+    def test_row_counts(self, tpcw_database, tiny_scale):
+        counts = tpcw_database.row_counts()
+        assert counts["item"] == tiny_scale.items
+        assert counts["customer"] == tiny_scale.customers
+        assert counts["orders"] == tiny_scale.orders
+        assert counts["address"] == tiny_scale.customers * 2
+        assert counts["author"] == tiny_scale.authors
+        assert counts["cc_xacts"] == tiny_scale.orders
+        assert counts["country"] == 10
+
+    def test_order_lines_one_to_five_per_order(self, tpcw_database, tiny_scale):
+        count = tpcw_database.row_counts()["order_line"]
+        assert tiny_scale.orders <= count <= 5 * tiny_scale.orders
+
+    def test_foreign_keys_valid(self, tpcw_database, tiny_scale):
+        result = tpcw_database.execute(
+            "SELECT COUNT(*) FROM item JOIN author ON i_a_id = a_id"
+        )
+        assert result.rows == [(tiny_scale.items,)]
+        result = tpcw_database.execute(
+            "SELECT COUNT(*) FROM order_line JOIN orders ON ol_o_id = o_id"
+        )
+        assert result.rows[0][0] == tpcw_database.row_counts()["order_line"]
+
+    def test_customer_usernames_derived_from_id(self, tpcw_database):
+        result = tpcw_database.execute(
+            "SELECT c_id FROM customer WHERE c_uname = 'user7'"
+        )
+        assert result.rows == [(7,)]
+
+    def test_deterministic_given_seed(self):
+        def build():
+            database = Database()
+            create_schema(database)
+            populate(database, PopulationScale(items=20, customers=10,
+                                               orders=10, seed=123))
+            return database.execute(
+                "SELECT i_title, i_cost FROM item ORDER BY i_id"
+            ).rows
+
+        assert build() == build()
+
+    def test_different_seed_different_data(self):
+        def build(seed):
+            database = Database()
+            create_schema(database)
+            populate(database, PopulationScale(items=20, customers=10,
+                                               orders=10, seed=seed))
+            return database.execute(
+                "SELECT i_title FROM item ORDER BY i_id"
+            ).rows
+
+        assert build(1) != build(2)
+
+    def test_item_subjects_from_tpcw_list(self, tpcw_database):
+        from repro.tpcw.names import SUBJECTS
+
+        result = tpcw_database.execute("SELECT DISTINCT i_subject FROM item")
+        assert {row[0] for row in result}.issubset(set(SUBJECTS))
+
+    def test_paper_claim_fast_queries_insensitive_to_scale(self):
+        """§4.2.1: 'creating a database with 10 times the size of the
+        current one does not cause the fast queries to become
+        noticeably slower' — index probes cost O(1) rows."""
+        def probe_cost(items):
+            database = Database()
+            create_schema(database)
+            populate(database, PopulationScale(items=items, customers=50,
+                                               orders=40))
+            database.cost_model.reset()
+            database.execute("SELECT i_title FROM item WHERE i_id = 1")
+            return database.cost_model.total_seconds
+
+        small, large = probe_cost(50), probe_cost(500)
+        assert large < small * 2  # no scan component

@@ -1,0 +1,73 @@
+"""Clock abstraction tests."""
+
+import threading
+import time
+
+import pytest
+
+from repro.util.clock import ManualClock, MonotonicClock
+
+
+class TestMonotonicClock:
+    def test_now_advances(self):
+        clock = MonotonicClock()
+        first = clock.now()
+        time.sleep(0.01)
+        assert clock.now() > first
+
+    def test_never_goes_backwards(self):
+        clock = MonotonicClock()
+        samples = [clock.now() for _ in range(100)]
+        assert samples == sorted(samples)
+
+
+class TestManualClock:
+    def test_starts_at_given_time(self):
+        assert ManualClock(5.0).now() == 5.0
+
+    def test_starts_at_zero_by_default(self):
+        assert ManualClock().now() == 0.0
+
+    def test_advance_returns_new_time(self):
+        clock = ManualClock()
+        assert clock.advance(2.5) == 2.5
+        assert clock.now() == 2.5
+
+    def test_advance_accumulates(self):
+        clock = ManualClock(1.0)
+        clock.advance(1.0)
+        clock.advance(0.5)
+        assert clock.now() == 2.5
+
+    def test_negative_advance_rejected(self):
+        clock = ManualClock()
+        with pytest.raises(ValueError):
+            clock.advance(-0.1)
+
+    def test_set_jumps_forward(self):
+        clock = ManualClock()
+        clock.set(10.0)
+        assert clock.now() == 10.0
+
+    def test_set_backwards_rejected(self):
+        clock = ManualClock(5.0)
+        with pytest.raises(ValueError):
+            clock.set(4.0)
+
+    def test_zero_advance_allowed(self):
+        clock = ManualClock(1.0)
+        assert clock.advance(0.0) == 1.0
+
+    def test_thread_safety(self):
+        clock = ManualClock()
+        threads = [
+            threading.Thread(
+                target=lambda: [clock.advance(0.001) for _ in range(1000)]
+            )
+            for _ in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert clock.now() == pytest.approx(4.0, abs=1e-6)

@@ -1,0 +1,76 @@
+"""Seeded random stream tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.rng import RandomStream, spawn_streams
+
+
+class TestRandomStream:
+    def test_same_seed_same_name_reproduces(self):
+        a = RandomStream(42, "clients")
+        b = RandomStream(42, "clients")
+        assert [a.random() for _ in range(20)] == [b.random() for _ in range(20)]
+
+    def test_different_names_decorrelate(self):
+        a = RandomStream(42, "alpha")
+        b = RandomStream(42, "beta")
+        assert [a.random() for _ in range(10)] != [b.random() for _ in range(10)]
+
+    def test_different_seeds_decorrelate(self):
+        a = RandomStream(1, "x")
+        b = RandomStream(2, "x")
+        assert [a.random() for _ in range(10)] != [b.random() for _ in range(10)]
+
+    def test_think_time_default_range(self):
+        rng = RandomStream(7, "think")
+        for _ in range(500):
+            value = rng.think_time()
+            assert 0.7 <= value <= 7.0
+
+    def test_think_time_custom_range(self):
+        rng = RandomStream(7, "think")
+        for _ in range(100):
+            assert 1.0 <= rng.think_time(1.0, 2.0) <= 2.0
+
+    def test_weighted_choice_respects_zero_weight(self):
+        rng = RandomStream(3, "w")
+        picks = {rng.weighted_choice(["a", "b"], [1.0, 0.0]) for _ in range(200)}
+        assert picks == {"a"}
+
+    def test_weighted_choice_distribution(self):
+        rng = RandomStream(3, "w")
+        counts = {"a": 0, "b": 0}
+        for _ in range(4000):
+            counts[rng.weighted_choice(["a", "b"], [3.0, 1.0])] += 1
+        ratio = counts["a"] / counts["b"]
+        assert 2.4 < ratio < 3.8
+
+    def test_weighted_choice_length_mismatch(self):
+        rng = RandomStream(1, "w")
+        with pytest.raises(ValueError):
+            rng.weighted_choice(["a"], [1.0, 2.0])
+
+    def test_weighted_choice_zero_total(self):
+        rng = RandomStream(1, "w")
+        with pytest.raises(ValueError):
+            rng.weighted_choice(["a", "b"], [0.0, 0.0])
+
+    @given(st.integers(min_value=0, max_value=2**31), st.text(max_size=20))
+    def test_any_seed_and_name_accepted(self, seed, name):
+        stream = RandomStream(seed, name)
+        assert 0.0 <= stream.random() < 1.0
+
+
+class TestSpawnStreams:
+    def test_spawns_all_names(self):
+        streams = spawn_streams(9, ["a", "b", "c"])
+        assert set(streams) == {"a", "b", "c"}
+
+    def test_streams_independent_of_sibling_consumption(self):
+        # Drawing from one stream must not perturb another.
+        first = spawn_streams(5, ["x", "y"])
+        second = spawn_streams(5, ["x", "y"])
+        for _ in range(100):
+            first["x"].random()
+        assert first["y"].random() == second["y"].random()

@@ -1,0 +1,197 @@
+"""Time series, accumulator, and histogram tests."""
+
+import math
+import threading
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.timeseries import Histogram, TimeSeries, WelfordAccumulator
+
+
+class TestTimeSeries:
+    def test_append_and_read(self):
+        series = TimeSeries("q")
+        series.append(0.0, 1.0)
+        series.append(1.0, 3.0)
+        assert series.times == [0.0, 1.0]
+        assert series.values == [1.0, 3.0]
+
+    def test_len(self):
+        series = TimeSeries()
+        assert len(series) == 0
+        series.append(0, 0)
+        assert len(series) == 1
+
+    def test_rejects_time_going_backwards(self):
+        series = TimeSeries("q")
+        series.append(2.0, 1.0)
+        with pytest.raises(ValueError):
+            series.append(1.0, 1.0)
+
+    def test_allows_equal_times(self):
+        series = TimeSeries()
+        series.append(1.0, 1.0)
+        series.append(1.0, 2.0)
+        assert len(series) == 2
+
+    def test_max_and_mean(self):
+        series = TimeSeries()
+        for t, v in enumerate([1.0, 5.0, 3.0]):
+            series.append(t, v)
+        assert series.max() == 5.0
+        assert series.mean() == 3.0
+
+    def test_max_empty_raises(self):
+        with pytest.raises(ValueError):
+            TimeSeries("empty").max()
+
+    def test_window_mean(self):
+        series = TimeSeries()
+        for t in range(10):
+            series.append(t, float(t))
+        assert series.window_mean(2, 5) == 3.0  # values 2,3,4
+
+    def test_window_mean_empty_window_raises(self):
+        series = TimeSeries()
+        series.append(0, 1)
+        with pytest.raises(ValueError):
+            series.window_mean(5, 6)
+
+    def test_bucketize_sums_events(self):
+        series = TimeSeries()
+        for t in [0.1, 0.2, 0.9, 1.5, 2.7]:
+            series.append(t, 1.0)
+        buckets = series.bucketize(1.0, start=0.0, end=3.0)
+        assert buckets.values == [3.0, 1.0, 1.0]
+        assert buckets.times == [0.0, 1.0, 2.0]
+
+    def test_bucketize_preserves_total_inside_window(self):
+        series = TimeSeries()
+        for i in range(100):
+            series.append(i * 0.37, 2.0)
+        buckets = series.bucketize(5.0, start=0.0, end=37.1)
+        assert sum(buckets.values) == 200.0
+
+    def test_bucketize_excludes_outside_window(self):
+        series = TimeSeries()
+        series.append(0.5, 1.0)
+        series.append(5.5, 1.0)
+        buckets = series.bucketize(1.0, start=1.0, end=5.0)
+        assert sum(buckets.values) == 0.0
+
+    def test_bucketize_rejects_nonpositive_width(self):
+        with pytest.raises(ValueError):
+            TimeSeries().bucketize(0.0)
+
+    def test_samples_snapshot(self):
+        series = TimeSeries()
+        series.append(1, 2)
+        snapshot = series.samples()
+        series.append(2, 3)
+        assert snapshot == [(1.0, 2.0)]
+
+    def test_concurrent_appends(self):
+        series = TimeSeries()
+        barrier = threading.Barrier(4)
+
+        def worker():
+            barrier.wait()
+            for _ in range(500):
+                series.append(1e9, 1.0)  # same time: always valid
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(series) == 2000
+
+
+class TestWelfordAccumulator:
+    def test_mean_of_known_values(self):
+        acc = WelfordAccumulator()
+        acc.extend([1.0, 2.0, 3.0, 4.0])
+        assert acc.mean == pytest.approx(2.5)
+        assert acc.count == 4
+
+    def test_variance_matches_textbook(self):
+        acc = WelfordAccumulator()
+        values = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+        acc.extend(values)
+        mean = sum(values) / len(values)
+        expected = sum((v - mean) ** 2 for v in values) / (len(values) - 1)
+        assert acc.variance == pytest.approx(expected)
+        assert acc.stddev == pytest.approx(math.sqrt(expected))
+
+    def test_min_max(self):
+        acc = WelfordAccumulator()
+        acc.extend([3.0, -1.0, 7.0])
+        assert acc.minimum == -1.0
+        assert acc.maximum == 7.0
+
+    def test_empty_mean_raises(self):
+        with pytest.raises(ValueError):
+            WelfordAccumulator("x").mean
+
+    def test_single_value_variance_zero(self):
+        acc = WelfordAccumulator()
+        acc.add(5.0)
+        assert acc.variance == 0.0
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6,
+                              allow_nan=False), min_size=1, max_size=50))
+    def test_mean_matches_direct_computation(self, values):
+        acc = WelfordAccumulator()
+        acc.extend(values)
+        assert acc.mean == pytest.approx(sum(values) / len(values), rel=1e-9,
+                                         abs=1e-6)
+
+
+class TestHistogram:
+    def test_count(self):
+        hist = Histogram()
+        hist.add(0.5)
+        hist.add(1.5)
+        assert hist.count == 2
+
+    def test_percentiles_exact(self):
+        hist = Histogram()
+        for v in range(1, 101):
+            hist.add(float(v))
+        assert hist.percentile(50) == 50.0
+        assert hist.percentile(99) == 99.0
+        assert hist.percentile(100) == 100.0
+
+    def test_percentile_zero_is_minimum(self):
+        hist = Histogram()
+        hist.add(3.0)
+        hist.add(1.0)
+        assert hist.percentile(0) == 1.0
+
+    def test_percentile_bounds_checked(self):
+        hist = Histogram()
+        hist.add(1.0)
+        with pytest.raises(ValueError):
+            hist.percentile(101)
+
+    def test_empty_percentile_raises(self):
+        with pytest.raises(ValueError):
+            Histogram("x").percentile(50)
+
+    def test_mean(self):
+        hist = Histogram()
+        hist.add(1.0)
+        hist.add(3.0)
+        assert hist.mean() == 2.0
+
+    def test_bucket_counts_cover_all_samples(self):
+        hist = Histogram(bucket_bounds=[1.0, 10.0])
+        for v in [0.5, 5.0, 50.0]:
+            hist.add(v)
+        counts = hist.bucket_counts()
+        assert counts == {"<=1": 1, "<=10": 1, "+inf": 1}
+
+    def test_empty_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram(bucket_bounds=[])
