@@ -9,6 +9,7 @@ how the TPC-W fast/slow page dichotomy emerges.
 from __future__ import annotations
 
 import dataclasses
+import functools
 import re
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -62,17 +63,10 @@ class ResultSet:
         return len(self.rows)
 
 
-_LIKE_CACHE: Dict[str, "re.Pattern[str]"] = {}
-
-
+@functools.lru_cache(maxsize=4096)
 def _like_regex(pattern: str) -> "re.Pattern[str]":
-    compiled = _LIKE_CACHE.get(pattern)
-    if compiled is None:
-        regex = re.escape(pattern).replace("%", ".*").replace("_", ".")
-        compiled = re.compile(f"^{regex}$", re.IGNORECASE | re.DOTALL)
-        if len(_LIKE_CACHE) < 4096:
-            _LIKE_CACHE[pattern] = compiled
-    return compiled
+    regex = re.escape(pattern).replace("%", ".*").replace("_", ".")
+    return re.compile(f"^{regex}$", re.IGNORECASE | re.DOTALL)
 
 
 class Executor:

@@ -87,6 +87,17 @@ def export_json(runner: ExperimentRunner, path: str) -> str:
     return path
 
 
+def export_bench_json(document: Dict, path: str) -> str:
+    """Write a micro-benchmark baseline document (e.g.
+    ``BENCH_render.json``) as stable, diff-friendly JSON; returns the
+    path.  The document is whatever the benchmark measured — timings,
+    speedups, cache hit rates — plus enough configuration to rerun it."""
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(document, f, indent=2, sort_keys=True)
+        f.write("\n")
+    return path
+
+
 def export_figures(runner: ExperimentRunner, directory: str) -> List[str]:
     """Write one ``.dat`` file per figure into ``directory``.
 

@@ -154,6 +154,15 @@ class StagedServer:
     def __exit__(self, *exc_info) -> None:
         self.stop()
 
+    def template_cache_stats(self) -> dict:
+        """Render-stage cache observability: the engine's compiled-
+        template cache plus the fragment cache when one is attached."""
+        report = dict(self.app.templates.cache_stats())
+        fragments = self.app.templates.fragment_cache
+        if fragments is not None:
+            report["fragments"] = fragments.stats()
+        return report
+
     # ------------------------------------------------------------------
     def _bind_worker_connection(self) -> None:
         self.app.bind_connection(self.connection_pool.acquire())

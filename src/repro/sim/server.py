@@ -36,6 +36,12 @@ class _SimServerBase:
         self.db = PSServer(sim, "database", cores=config.db_cores)
         self.web = PSServer(sim, "webserver", cores=config.web_cores)
         self.locks = SimLockTable(sim)
+        #: Render demands were calibrated against the interpreting
+        #: template engine; the knob models the compiled render path.
+        self._render_scale = 1.0 / config.render_speedup
+
+    def _render_demand(self, profile: PageProfile, jitter: float) -> float:
+        return profile.render_demand * jitter * self._render_scale
 
     # ------------------------------------------------------------------
     def _db_phase(self, profile: PageProfile, jitter: float):
@@ -95,7 +101,7 @@ class SimBaselineServer(_SimServerBase):
                 self.sim.now, profile.path, self.sim.now - generation_start
             )
             if profile.render_demand > 0:
-                yield self.web.serve(profile.render_demand * jitter)
+                yield self.web.serve(self._render_demand(profile, jitter))
         finally:
             self.workers.release()
         self.results.record_request(self.sim.now, "dynamic")
@@ -184,7 +190,7 @@ class SimStagedServer(_SimServerBase):
             )
             if self.render_inline and profile.render_demand > 0:
                 # A5: the connection sits idle while this thread renders.
-                yield self.web.serve(profile.render_demand * jitter)
+                yield self.web.serve(self._render_demand(profile, jitter))
         finally:
             pool.release()
 
@@ -193,7 +199,7 @@ class SimStagedServer(_SimServerBase):
             yield self.render_pool.acquire(tag="render")
             try:
                 if profile.render_demand > 0:
-                    yield self.web.serve(profile.render_demand * jitter)
+                    yield self.web.serve(self._render_demand(profile, jitter))
             finally:
                 self.render_pool.release()
         self.results.record_request(self.sim.now, "dynamic")
@@ -275,7 +281,7 @@ class SimSJFServer(_SimServerBase):
                 self.sim.now, profile.path, generation_seconds
             )
             if profile.render_demand > 0:
-                yield self.web.serve(profile.render_demand * jitter)
+                yield self.web.serve(self._render_demand(profile, jitter))
         finally:
             self.workers.release()
         self.results.record_request(self.sim.now, "dynamic")

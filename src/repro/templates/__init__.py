@@ -19,6 +19,7 @@ handler can return ``("name.html", data)`` and any template-rendering
 thread can finish the job.
 """
 
+from repro.templates.compiler import compile_template
 from repro.templates.context import Context
 from repro.templates.engine import Template, TemplateEngine
 from repro.templates.errors import (
@@ -28,9 +29,11 @@ from repro.templates.errors import (
     TemplateSyntaxError,
 )
 from repro.templates.filters import FILTERS, register_filter
+from repro.templates.fragcache import FragmentCache, data_signature
 
 __all__ = [
     "Context",
+    "FragmentCache",
     "Template",
     "TemplateEngine",
     "TemplateError",
@@ -38,5 +41,7 @@ __all__ = [
     "TemplateRenderError",
     "TemplateSyntaxError",
     "FILTERS",
+    "compile_template",
+    "data_signature",
     "register_filter",
 ]

@@ -162,17 +162,22 @@ def _escape(value: Any, arg: Optional[str] = None) -> SafeString:
     return SafeString(escape_html(str(value)))
 
 
+#: Per-byte encoding table, built once: unreserved bytes map to
+#: themselves, everything else to %XX.
+_URLENCODE_TABLE = [
+    chr(byte)
+    if chr(byte) in
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789-_.~/"
+    else f"%{byte:02X}"
+    for byte in range(256)
+]
+
+
 @register_filter("urlencode")
 def _urlencode(value: Any, arg: Optional[str] = None) -> str:
     _require_no_arg("urlencode", arg)
-    safe_chars = set(
-        "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789-_.~/"
-    )
-    out = []
-    for byte in str(value).encode("utf-8"):
-        ch = chr(byte)
-        out.append(ch if ch in safe_chars else f"%{byte:02X}")
-    return "".join(out)
+    table = _URLENCODE_TABLE
+    return "".join([table[byte] for byte in str(value).encode("utf-8")])
 
 
 @register_filter("pluralize")

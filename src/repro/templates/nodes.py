@@ -8,6 +8,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 from repro.templates.context import MISSING, Context
 from repro.templates.errors import TemplateRenderError, TemplateSyntaxError
 from repro.templates.filters import FILTERS, SafeString, escape_html
+from repro.templates.fragcache import render_fragment
 
 # ----------------------------------------------------------------------
 # Expressions
@@ -97,21 +98,30 @@ class FilterExpression:
         return value
 
 
+def _literal_resolver(value: Any) -> Callable[[Context], Any]:
+    resolver = lambda context: value  # noqa: E731
+    # Metadata for repro.templates.compiler, which lowers operands to
+    # generated code instead of calling the closure.
+    resolver.operand_kind = "literal"
+    resolver.operand_value = value
+    return resolver
+
+
 def _compile_operand(text: str, template_name: str) -> Callable[[Context], Any]:
     """Compile a literal or dotted-variable operand to a resolver."""
     if not text:
         raise TemplateSyntaxError("empty operand", template_name)
     if len(text) >= 2 and text[0] in "\"'" and text[-1] == text[0]:
-        literal_str = text[1:-1]
-        return lambda context: literal_str
+        return _literal_resolver(text[1:-1])
     if text in _KEYWORD_LITERALS:
-        literal_kw = _KEYWORD_LITERALS[text]
-        return lambda context: literal_kw
+        return _literal_resolver(_KEYWORD_LITERALS[text])
     if _NUMBER_RE.match(text):
-        literal_num: Any = float(text) if "." in text else int(text)
-        return lambda context: literal_num
+        return _literal_resolver(float(text) if "." in text else int(text))
     if _VARIABLE_RE.match(text):
-        return lambda context: context.resolve(text)
+        resolver = lambda context: context.resolve(text)  # noqa: E731
+        resolver.operand_kind = "variable"
+        resolver.operand_name = text
+        return resolver
     raise TemplateSyntaxError(f"malformed operand {text!r}", template_name)
 
 
@@ -373,8 +383,7 @@ class IncludeNode(Node):
                 f"resolved to nothing"
             )
         template = self.engine.get_template(str(name))
-        for node in template.nodes:
-            node.render(context, parts)
+        template.render_into(context, parts)
 
 
 class WithNode(Node):
@@ -395,6 +404,30 @@ class WithNode(Node):
                 node.render(context, parts)
         finally:
             context.pop()
+
+
+class BlockOverride:
+    """A child template's block body, in both executable forms.
+
+    ``__blocks__`` override values are either a plain ``List[Node]``
+    (pushed by an interpreted :class:`ExtendsNode`) or one of these
+    (pushed by a compiled template), which carries the node list plus
+    an optional compiled render function so a compiled parent keeps
+    the fast path through overridden blocks.
+    """
+
+    __slots__ = ("nodes", "fn")
+
+    def __init__(self, nodes: List[Node], fn=None):
+        self.nodes = nodes
+        self.fn = fn
+
+    def render_into(self, context: Context, parts: List[str]) -> None:
+        if self.fn is not None:
+            self.fn(context, parts)
+        else:
+            for node in self.nodes:
+                node.render(context, parts)
 
 
 class BlockNode(Node):
@@ -418,6 +451,9 @@ class BlockNode(Node):
         body = self.body
         if overrides and self.name in overrides:
             body = overrides[self.name]
+            if isinstance(body, BlockOverride):
+                body.render_into(context, parts)
+                return
         for node in body:
             node.render(context, parts)
 
@@ -451,7 +487,36 @@ class ExtendsNode(Node):
         merged.update(existing)
         context.push({"__blocks__": merged})
         try:
-            for node in parent.nodes:
-                node.render(context, parts)
+            parent.render_into(context, parts)
         finally:
             context.pop()
+
+
+class CacheNode(Node):
+    """``{% cache key [timeout] [vary ...] %}`` — cache the rendered body.
+
+    Transparent (renders the body every time) unless the loading
+    engine has a :class:`repro.templates.fragcache.FragmentCache`
+    enabled, so the tag is opt-in at the deployment level, not baked
+    into the template.  ``key`` and ``timeout`` are expressions;
+    further expressions become vary-on values appended to the cache
+    key (e.g. ``{% cache sidebar 60 subject %}``).
+    """
+
+    __slots__ = ("key", "timeout", "vary", "body", "engine")
+
+    def __init__(self, key: FilterExpression, timeout: Optional[FilterExpression],
+                 vary: List[FilterExpression], body: List[Node], engine):
+        self.key = key
+        self.timeout = timeout
+        self.vary = vary
+        self.body = body
+        self.engine = engine
+
+    def _render_body(self, context: Context, parts: List[str]) -> None:
+        for node in self.body:
+            node.render(context, parts)
+
+    def render(self, context: Context, parts: List[str]) -> None:
+        render_fragment(self.engine, context, parts, self._render_body,
+                        self.key, self.timeout, self.vary)

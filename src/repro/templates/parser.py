@@ -8,6 +8,7 @@ from repro.templates.errors import TemplateSyntaxError
 from repro.templates.lexer import Token, TokenType, iter_tag_parts, tokenize
 from repro.templates.nodes import (
     BlockNode,
+    CacheNode,
     Condition,
     ExtendsNode,
     FilterExpression,
@@ -82,6 +83,8 @@ class TemplateParser:
             return self._parse_block(parts, token)
         if tag == "extends":
             return self._parse_extends(parts, token)
+        if tag == "cache":
+            return self._parse_cache(parts, token)
         if tag == "comment":
             self._parse_until(frozenset({"endcomment"}))
             return TextNode("")
@@ -196,6 +199,24 @@ class TemplateParser:
         return IncludeNode(
             FilterExpression(parts[1], self.template_name), self.engine
         )
+
+    def _parse_cache(self, parts: List[str], token: Token) -> CacheNode:
+        # {% cache key [timeout] [vary ...] %}
+        if len(parts) < 2:
+            raise TemplateSyntaxError(
+                "{% cache %} requires a key (and optionally a timeout "
+                "and vary-on expressions)",
+                self.template_name,
+                token.line,
+            )
+        key = FilterExpression(parts[1], self.template_name)
+        timeout = None
+        if len(parts) >= 3:
+            timeout = FilterExpression(parts[2], self.template_name)
+        vary = [FilterExpression(part, self.template_name)
+                for part in parts[3:]]
+        body, _ = self._parse_until(frozenset({"endcache"}))
+        return CacheNode(key, timeout, vary, body, self.engine)
 
     def _parse_with(self, parts: List[str], token: Token) -> WithNode:
         if len(parts) < 2:

@@ -55,8 +55,15 @@ class TPCWApplication(Application):
     def __init__(self, database: Database,
                  bestseller_window: int = DEFAULT_BESTSELLER_WINDOW,
                  image_count: int = 100,
-                 image_bytes: int = 2048):
-        super().__init__(templates=TemplateEngine(sources=dict(TEMPLATES)))
+                 image_bytes: int = 2048,
+                 compiled_templates: bool = True,
+                 fragment_cache: bool = False):
+        super().__init__(templates=TemplateEngine(
+            sources=dict(TEMPLATES), compiled=compiled_templates))
+        if fragment_cache:
+            # Activates the {% cache %} tags on the static-ish subject
+            # sidebars (home, search_request) and render_cached().
+            self.templates.enable_fragment_cache()
         self.database = database
         self.bestseller_window = bestseller_window
         self._register_routes()

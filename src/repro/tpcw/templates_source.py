@@ -65,11 +65,13 @@ TEMPLATES["home.html"] = """\
 {% endfor %}
 </table>
 <h3>Browse by subject</h3>
+{% cache "home-subjects" %}
 <ul>
 {% for subject in subjects %}
   <li><a href="/new_products?subject={{ subject|urlencode }}">{{ subject|capfirst }}</a></li>
 {% endfor %}
 </ul>
+{% endcache %}
 {% endblock %}
 """
 
@@ -113,11 +115,13 @@ TEMPLATES["search_request.html"] = """\
   <input type="submit" value="Search">
 </form>
 <h3>Subjects</h3>
+{% cache "search-subjects" %}
 <ul>
 {% for subject in subjects %}
   <li><a href="/execute_search?search_type=subject&amp;search_string={{ subject|urlencode }}">{{ subject|capfirst }}</a></li>
 {% endfor %}
 </ul>
+{% endcache %}
 {% endblock %}
 """
 

@@ -1,0 +1,194 @@
+"""Direct tests of the template-to-Python compiler."""
+
+import pytest
+
+from repro.templates import Template, TemplateEngine, TemplateRenderError
+from repro.templates.compiler import CompileUnsupported, compile_template
+from repro.templates.nodes import Node
+
+
+def engine_pair(sources):
+    return (
+        TemplateEngine(sources=dict(sources), compiled=True),
+        TemplateEngine(sources=dict(sources), compiled=False),
+    )
+
+
+class TestCompiledPath:
+    def test_engine_default_is_compiled(self):
+        engine = TemplateEngine(sources={"a.html": "hi {{ x }}"})
+        assert engine.get_template("a.html").compiled
+
+    def test_compiled_false_uses_interpreter(self):
+        engine = TemplateEngine(sources={"a.html": "hi"}, compiled=False)
+        assert not engine.get_template("a.html").compiled
+
+    def test_generated_source_is_attached(self):
+        engine = TemplateEngine(sources={"a.html": "{{ x }}"})
+        template = engine.get_template("a.html")
+        assert "def _render" in template._render_fn.generated_source
+
+    def test_standalone_template_defaults_to_interpreter(self):
+        # Without an engine there is no compiled toggle to inherit.
+        assert not Template("{{ x }}").compiled
+
+    def test_literal_runs_are_pre_joined(self):
+        engine = TemplateEngine(
+            sources={"a.html": "a{# comment #}b{% comment %}x{% endcomment %}c"}
+        )
+        template = engine.get_template("a.html")
+        assert "'abc'" in template._render_fn.generated_source
+        assert template.render({}) == "abc"
+
+    def test_unsupported_node_falls_back(self):
+        class Opaque(Node):
+            def render(self, context, parts):
+                parts.append("opaque")
+
+        engine = TemplateEngine(sources={"a.html": "x"})
+        template = engine.get_template("a.html")
+        template.nodes.append(Opaque())
+        assert compile_template(template, engine) is None
+        with pytest.raises(CompileUnsupported):
+            compile_template(template, engine, strict=True)
+
+    def test_fallback_counter_increments(self):
+        engine = TemplateEngine(sources={"a.html": "x"}, compiled=True)
+        original = Template.__init__
+
+        def sabotage(self, source, name="<string>", engine=None, compiled=None):
+            original(self, source, name, engine, compiled)
+            self._render_fn = None
+
+        # Simulate an uncompilable template via a monkeypatched load.
+        try:
+            Template.__init__ = sabotage
+            engine.get_template("a.html")
+        finally:
+            Template.__init__ = original
+        assert engine.cache_stats()["compile_fallbacks"] == 1
+
+
+class TestCompiledSemantics:
+    """Spot checks on the trickier lowering rules (the equivalence
+    suite covers the full surface)."""
+
+    def test_forloop_metadata(self):
+        source = (
+            "{% for x in xs %}{{ forloop.counter }}:{{ forloop.revcounter }}"
+            "{% if forloop.first %}F{% endif %}"
+            "{% if forloop.last %}L{% endif %};{% endfor %}"
+        )
+        compiled, interpreted = engine_pair({"a.html": source})
+        data = {"xs": ["a", "b", "c"]}
+        assert compiled.render("a.html", data) == "1:3F;2:2;3:1L;"
+        assert compiled.render("a.html", data) == interpreted.render("a.html", data)
+
+    def test_loop_variable_named_forloop_shadows_metadata(self):
+        source = "{% for forloop in xs %}{{ forloop }}{% endfor %}"
+        compiled, interpreted = engine_pair({"a.html": source})
+        data = {"xs": [1, 2]}
+        assert compiled.render("a.html", data) == interpreted.render("a.html", data) == "12"
+
+    def test_nested_loop_parentloop(self):
+        source = (
+            "{% for row in rows %}{% for cell in row %}"
+            "{{ forloop.parentloop.counter }}.{{ forloop.counter }} "
+            "{% endfor %}{% endfor %}"
+        )
+        compiled, interpreted = engine_pair({"a.html": source})
+        data = {"rows": [[1, 2], [3]]}
+        assert compiled.render("a.html", data) == interpreted.render("a.html", data)
+
+    def test_tuple_unpack_error_message_matches(self):
+        source = "{% for a, b in xs %}{{ a }}{% endfor %}"
+        compiled, interpreted = engine_pair({"a.html": source})
+        data = {"xs": [(1, 2, 3)]}
+        with pytest.raises(TemplateRenderError) as compiled_error:
+            compiled.render("a.html", data)
+        with pytest.raises(TemplateRenderError) as interpreted_error:
+            interpreted.render("a.html", data)
+        assert str(compiled_error.value) == str(interpreted_error.value)
+
+    def test_filter_failure_message_matches(self):
+        source = "{{ x|floatformat:bad }}"
+        compiled, interpreted = engine_pair({"a.html": source})
+        data = {"x": 1.5, "bad": "zz"}
+        with pytest.raises(TemplateRenderError) as compiled_error:
+            compiled.render("a.html", data)
+        with pytest.raises(TemplateRenderError) as interpreted_error:
+            interpreted.render("a.html", data)
+        assert str(compiled_error.value) == str(interpreted_error.value)
+
+    def test_not_iterable_error_matches(self):
+        source = "{% for x in n %}{{ x }}{% endfor %}"
+        compiled, interpreted = engine_pair({"a.html": source})
+        for engine in (compiled, interpreted):
+            with pytest.raises(TemplateRenderError, match="not iterable"):
+                engine.render("a.html", {"n": 7})
+
+    def test_include_resolves_through_engine_at_render_time(self):
+        sources = {"a.html": "[{% include 'p.html' %}]", "p.html": "one"}
+        engine = TemplateEngine(sources=sources, compiled=True)
+        assert engine.render("a.html", {}) == "[one]"
+        engine.add_source("p.html", "two")
+        assert engine.render("a.html", {}) == "[two]"
+
+    def test_inlined_include_records_dependency(self):
+        sources = {
+            "a.html": "{% for i in xs %}{% include 'p.html' %}{% endfor %}",
+            "p.html": "[{{ i }}]",
+        }
+        engine = TemplateEngine(sources=sources, compiled=True)
+        assert engine.render("a.html", {"xs": [1, 2]}) == "[1][2]"
+        template = engine.get_template("a.html")
+        assert "p.html" in template._dependencies
+        # Invalidating the inlined dependency drops the dependent too.
+        engine.invalidate("p.html")
+        assert "a.html" not in engine._cache
+        engine.add_source("p.html", "({{ i }})")
+        assert engine.render("a.html", {"xs": [1]}) == "(1)"
+
+    def test_recursive_include_does_not_hang_compilation(self):
+        sources = {"a.html": "{% if go %}{% include 'a.html' %}{% endif %}x"}
+        engine = TemplateEngine(sources=sources, compiled=True)
+        assert engine.render("a.html", {"go": False}) == "x"
+
+    def test_compiled_child_with_interpreted_parent(self):
+        sources = {
+            "base.html": "<{% block body %}default{% endblock %}>",
+            "child.html": "{% extends 'base.html' %}{% block body %}{{ x }}{% endblock %}",
+        }
+        engine = TemplateEngine(sources=sources, compiled=True)
+        # Force the parent onto the interpreted path only.
+        base = engine.get_template("base.html")
+        base._render_fn = None
+        assert engine.render("child.html", {"x": "hi"}) == "<hi>"
+
+    def test_interpreted_child_with_compiled_parent(self):
+        sources = {
+            "base.html": "<{% block body %}default{% endblock %}>",
+            "child.html": "{% extends 'base.html' %}{% block body %}{{ x }}{% endblock %}",
+        }
+        engine = TemplateEngine(sources=sources, compiled=True)
+        child = engine.get_template("child.html")
+        child._render_fn = None
+        assert engine.render("child.html", {"x": "hi"}) == "<hi>"
+
+    def test_with_bindings_see_earlier_ones(self):
+        source = "{% with a=x b=a %}{{ b }}{% endwith %}"
+        compiled, interpreted = engine_pair({"a.html": source})
+        data = {"x": "v"}
+        assert compiled.render("a.html", data) == interpreted.render("a.html", data) == "v"
+
+    def test_callable_values_are_called(self):
+        source = "{{ f }}-{{ d.g }}"
+        compiled, interpreted = engine_pair({"a.html": source})
+        data = {"f": lambda: "A", "d": {"g": lambda: "B"}}
+        assert compiled.render("a.html", data) == interpreted.render("a.html", data) == "A-B"
+
+    def test_autoescape_matches_interpreter(self):
+        source = "{{ x }}|{{ x|safe }}|{{ n }}"
+        compiled, interpreted = engine_pair({"a.html": source})
+        data = {"x": "<a href=\"x\">'&'</a>", "n": 3.5}
+        assert compiled.render("a.html", data) == interpreted.render("a.html", data)

@@ -1,0 +1,108 @@
+"""The engine's bounded template cache: LRU, stats, thread safety."""
+
+import threading
+
+import pytest
+
+from repro.templates import TemplateEngine
+
+
+def engine_with(count, cache_size):
+    sources = {f"t{i}.html": f"T{i}" for i in range(count)}
+    return TemplateEngine(sources=sources, cache_size=cache_size)
+
+
+class TestBoundedCache:
+    def test_cache_size_validated(self):
+        with pytest.raises(ValueError):
+            TemplateEngine(sources={}, cache_size=0)
+
+    def test_hits_and_misses_counted(self):
+        engine = engine_with(2, cache_size=8)
+        engine.get_template("t0.html")
+        engine.get_template("t0.html")
+        engine.get_template("t1.html")
+        stats = engine.cache_stats()
+        assert stats["hits"] == 1 and stats["misses"] == 2
+        assert stats["size"] == 2 and stats["capacity"] == 8
+
+    def test_lru_eviction_at_capacity(self):
+        engine = engine_with(3, cache_size=2)
+        engine.get_template("t0.html")
+        engine.get_template("t1.html")
+        engine.get_template("t0.html")  # t0 most recently used
+        engine.get_template("t2.html")  # evicts t1
+        assert engine.cache_stats()["evictions"] == 1
+        assert set(engine._cache) == {"t0.html", "t2.html"}
+
+    def test_unbounded_with_none(self):
+        engine = engine_with(5, cache_size=None)
+        for i in range(5):
+            engine.get_template(f"t{i}.html")
+        stats = engine.cache_stats()
+        assert stats["size"] == 5 and stats["evictions"] == 0
+
+    def test_same_instance_on_repeat_loads(self):
+        engine = engine_with(1, cache_size=4)
+        assert engine.get_template("t0.html") is engine.get_template("t0.html")
+
+    def test_add_source_invalidates(self):
+        engine = TemplateEngine(sources={"a.html": "one"})
+        assert engine.render("a.html", {}) == "one"
+        engine.add_source("a.html", "two")
+        assert engine.render("a.html", {}) == "two"
+
+    def test_invalidate_one_and_all(self):
+        engine = engine_with(2, cache_size=8)
+        engine.get_template("t0.html")
+        engine.get_template("t1.html")
+        engine.invalidate("t0.html")
+        assert set(engine._cache) == {"t1.html"}
+        engine.invalidate()
+        assert not engine._cache
+
+    def test_concurrent_get_template_single_instance(self):
+        engine = engine_with(8, cache_size=64)
+        seen = [set() for _ in range(8)]
+        barrier = threading.Barrier(8)
+
+        def worker(slot):
+            barrier.wait()
+            for _ in range(200):
+                for i in range(8):
+                    seen[slot].add(id(engine.get_template(f"t{i}.html")))
+
+        threads = [threading.Thread(target=worker, args=(s,)) for s in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        # Every thread saw the same 8 template objects: the lock-free
+        # hot read never exposed a duplicate compile.
+        union = set().union(*seen)
+        assert len(union) == 8
+        stats = engine.cache_stats()
+        assert stats["misses"] >= 8 and stats["hits"] > 0
+
+    def test_concurrent_eviction_churn(self):
+        engine = engine_with(16, cache_size=4)
+        barrier = threading.Barrier(4)
+        errors = []
+
+        def worker():
+            barrier.wait()
+            try:
+                for round_ in range(100):
+                    template = engine.get_template(f"t{round_ % 16}.html")
+                    assert template.render({}) == f"T{round_ % 16}"
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert len(engine._cache) <= 4
+        assert engine.cache_stats()["evictions"] > 0
