@@ -25,6 +25,12 @@ class RequestTooLargeError(HTTPError):
     status = 413
 
 
+class RequestTimeoutError(HTTPError):
+    """The client stalled mid-request past the socket timeout (408)."""
+
+    status = 408
+
+
 class NotFoundError(HTTPError):
     """No handler or static file matches the request path (404)."""
 

@@ -189,6 +189,20 @@ class RequestParser:
         """Bytes received beyond this request (start of a pipelined next one)."""
         return bytes(self._buffer)
 
+    @property
+    def started(self) -> bool:
+        """Whether any bytes of the current request have arrived.
+
+        Distinguishes a client that went quiet *between* requests
+        (idle keep-alive — close silently) from one that stalled
+        *mid-request* (merits a 408, not a disconnect 400).
+        """
+        return (
+            self.state is not ParserState.REQUEST_LINE
+            or self.request_line is not None
+            or bool(self._buffer)
+        )
+
 
 def parse_request_bytes(data: bytes) -> HTTPRequest:
     """One-shot parse of a complete request byte string."""

@@ -22,6 +22,7 @@ except for the paper's one-line change: staged handlers return
 from repro.server.app import Application, RequestContext
 from repro.server.baseline import BaselineServer
 from repro.server.pools import ThreadPool
+from repro.server.reactor import ConnectionReactor
 from repro.server.staged import StagedServer
 from repro.server.stats import ServerStats
 
@@ -29,6 +30,7 @@ __all__ = [
     "Application",
     "RequestContext",
     "BaselineServer",
+    "ConnectionReactor",
     "ThreadPool",
     "StagedServer",
     "ServerStats",

@@ -26,8 +26,14 @@ from repro.server.gateway import (
     interpret_result,
     render_page,
 )
-from repro.server.netbase import ClientConnection, Listener, PeriodicTask
-from repro.server.pools import PoolOverloadedError, ThreadPool
+from repro.server.netbase import (
+    DEFAULT_SOCKET_TIMEOUT,
+    ClientConnection,
+    Listener,
+    PeriodicTask,
+)
+from repro.server.pools import ThreadPool
+from repro.server.reactor import ConnectionReactor
 from repro.server.static import serve_static
 from repro.server.stats import ServerStats
 from repro.util.clock import Clock, MonotonicClock
@@ -54,7 +60,10 @@ class BaselineServer:
                  workers: Optional[int] = None,
                  clock: Optional[Clock] = None,
                  queue_sample_interval: float = 1.0,
-                 max_queue: Optional[int] = None):
+                 max_queue: Optional[int] = None,
+                 socket_timeout: float = DEFAULT_SOCKET_TIMEOUT,
+                 idle_timeout: Optional[float] = None,
+                 max_connections: Optional[int] = None):
         if workers is None:
             workers = connection_pool.size
         if workers > connection_pool.size:
@@ -74,7 +83,16 @@ class BaselineServer:
             worker_cleanup=self._release_worker_connection,
             max_queue=max_queue,
         )
-        self._listener = Listener(host, port, self._on_accept)
+        self.reactor = ConnectionReactor(
+            self._submit_serve,
+            idle_timeout=idle_timeout if idle_timeout is not None
+            else socket_timeout,
+            max_connections=max_connections,
+            on_idle_reap=self.stats.record_idle_reap,
+            on_shed=self.stats.record_shed,
+        )
+        self._listener = Listener(host, port, self._on_accept,
+                                  socket_timeout=socket_timeout)
         self._sampler = PeriodicTask(
             queue_sample_interval, self._sample_queues, name="queue-sampler"
         )
@@ -86,6 +104,7 @@ class BaselineServer:
         return self._listener.address
 
     def start(self) -> "BaselineServer":
+        self.reactor.start()
         self._listener.start()
         self._sampler.start()
         self._running = True
@@ -96,6 +115,7 @@ class BaselineServer:
             return
         self._running = False
         self._listener.stop()
+        self.reactor.stop()
         self._sampler.stop()
         self.worker_pool.shutdown()
 
@@ -120,40 +140,56 @@ class BaselineServer:
 
     def _sample_queues(self) -> None:
         self.stats.sample_queue("worker", self.worker_pool.queue_length)
+        self.stats.sample_parked(self.reactor.parked_count)
+
+    def sampler_errors(self) -> int:
+        """Exceptions swallowed (but counted) by the queue sampler."""
+        return self._sampler.errors
 
     def _on_accept(self, client: ClientConnection) -> None:
-        try:
-            self.worker_pool.submit(self._serve_client, client)
-        except PoolOverloadedError:
-            client.send_response(HTTPResponse.error(503), keep_alive=False)
-            client.close_after_error()
+        # Park even fresh connections: a client that connects and says
+        # nothing must never occupy a worker thread.
+        self.reactor.park(client)
+
+    def _submit_serve(self, client: ClientConnection) -> None:
+        """Reactor callback: the connection has readable bytes."""
+        self.worker_pool.submit(self._serve_client, client)
 
     # ------------------------------------------------------------------
     def _serve_client(self, client: ClientConnection) -> None:
-        """Process every request on one connection, start to finish."""
+        """Process one ready request start to finish, then re-park.
+
+        Still the paper's thread-per-request model — parsing, data
+        generation, and rendering all happen on this one thread — but
+        the *idle* time between keep-alive requests is spent in the
+        reactor's selector, not blocking here.
+        """
         try:
-            while True:
-                try:
-                    request = client.read_request()
-                except HTTPError as exc:
-                    # 400 for malformed requests, 413 for oversized ones.
-                    client.send_response(
-                        HTTPResponse.error(exc.status), keep_alive=False
-                    )
-                    return
-                if request is None:
-                    return
-                started = self.clock.now()
-                response, page_key, request_class = self._process(request)
-                response = head_strip(request, response)
-                keep_alive = request.keep_alive
-                client.send_response(response, keep_alive=keep_alive)
-                self.stats.record_completion(
-                    page_key, request_class, self.clock.now() - started
-                )
-                if not keep_alive:
-                    return
-        finally:
+            request = client.read_request()
+        except HTTPError as exc:
+            # 400 for malformed, 408 for stalled, 413 for oversized.
+            client.send_response(
+                HTTPResponse.error(exc.status, exc.message), keep_alive=False
+            )
+            client.close_after_error()
+            return
+        if request is None:
+            client.close()
+            return
+        started = self.clock.now()
+        response, page_key, request_class = self._process(request)
+        response = head_strip(request, response)
+        keep_alive = request.keep_alive
+        sent = client.send_response(response, keep_alive=keep_alive)
+        if sent:
+            # A 0-byte send means the peer was already gone; counting
+            # it as a completion would inflate throughput.
+            self.stats.record_completion(
+                page_key, request_class, self.clock.now() - started
+            )
+        if keep_alive and not client.closed and self._running:
+            self.reactor.park(client)
+        else:
             client.close()
 
     def _process(self, request: HTTPRequest):

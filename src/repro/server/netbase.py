@@ -12,7 +12,7 @@ import socket
 import threading
 from typing import Callable, Optional, Tuple
 
-from repro.http.errors import BadRequestError
+from repro.http.errors import BadRequestError, RequestTimeoutError
 from repro.http.parser import ParserState, RequestParser
 from repro.http.request import HTTPRequest
 from repro.http.response import HTTPResponse
@@ -52,10 +52,19 @@ class ClientConnection:
         return self._parser
 
     def _recv_into_parser(self, parser: RequestParser) -> bool:
-        """One socket read into the parser; False when the peer closed."""
+        """One socket read into the parser; False when the peer closed.
+
+        A timeout on a request that has already begun is the client's
+        slowness, not a disconnect — raise 408 so the caller can say
+        so, instead of misreporting a "client disconnected" 400.
+        """
         try:
             data = self._sock.recv(_RECV_SIZE)
-        except socket.timeout:
+        except socket.timeout as exc:
+            if parser.started:
+                raise RequestTimeoutError(
+                    "client stalled mid-request (socket timeout)"
+                ) from exc
             return False
         except OSError:
             return False
@@ -101,6 +110,30 @@ class ClientConnection:
         self._leftover = parser.leftover
         self._parser = None
         return request
+
+    # ------------------------------------------------------------------
+    # Reactor integration
+    # ------------------------------------------------------------------
+    def fileno(self) -> int:
+        """The underlying socket's file descriptor (-1 once closed)."""
+        return self._sock.fileno()
+
+    @property
+    def raw_socket(self) -> socket.socket:
+        """The underlying socket, for selector registration."""
+        return self._sock
+
+    def has_buffered_data(self) -> bool:
+        """Whether already-received bytes await parsing (pipelining).
+
+        A connection with buffered data must not be parked in the
+        reactor — the selector would never fire for bytes that sit in
+        our own buffers rather than the kernel's.
+        """
+        if self._leftover:
+            return True
+        parser = self._parser
+        return parser is not None and parser.started
 
     # ------------------------------------------------------------------
     def send_response(self, response: HTTPResponse, keep_alive: bool) -> int:
@@ -192,6 +225,9 @@ class PeriodicTask:
     """Runs a callback every ``interval`` seconds on its own thread.
 
     Used for the once-per-second treserve update and queue sampling.
+    A crashing callback never kills the thread, but it is *counted*
+    (:attr:`errors`, :attr:`last_error`) so tests and operators can
+    assert samplers ran clean instead of failing silently.
     """
 
     def __init__(self, interval: float, callback: Callable[[], None],
@@ -202,6 +238,8 @@ class PeriodicTask:
         self._callback = callback
         self._stopping = threading.Event()
         self._thread = threading.Thread(target=self._run, name=name, daemon=True)
+        self.errors = 0
+        self.last_error: Optional[BaseException] = None
 
     def start(self) -> None:
         self._thread.start()
@@ -210,8 +248,9 @@ class PeriodicTask:
         while not self._stopping.wait(self._interval):
             try:
                 self._callback()
-            except Exception:  # pragma: no cover - sampler must not die
-                pass
+            except Exception as exc:  # sampler must not die, but must count
+                self.errors += 1
+                self.last_error = exc
 
     def stop(self) -> None:
         self._stopping.set()

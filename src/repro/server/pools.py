@@ -43,7 +43,13 @@ class ThreadPool:
         self.size = size
         self.max_queue = max_queue
         self.rejected = 0
-        self._queue: "queue.Queue[Any]" = queue.Queue()
+        # The queue itself enforces the bound (maxsize=0 means
+        # unbounded); submit() uses put_nowait under _submit_lock so
+        # the capacity check and the insert are one atomic step.
+        self._queue: "queue.Queue[Any]" = queue.Queue(
+            maxsize=max_queue if max_queue is not None else 0
+        )
+        self._submit_lock = threading.Lock()
         self._busy = 0
         self._busy_lock = threading.Lock()
         self._worker_init = worker_init
@@ -71,14 +77,17 @@ class ThreadPool:
         bound — admission control in the spirit of the overload work
         the paper cites (Welsh & Culler's load shedding).
         """
-        if self._shutdown:
-            raise RuntimeError(f"pool {self.name!r} is shut down")
-        if self.max_queue is not None and self._queue.qsize() >= self.max_queue:
-            self.rejected += 1
-            raise PoolOverloadedError(
-                f"pool {self.name!r} queue is full ({self.max_queue} waiting)"
-            )
-        self._queue.put((handler, item))
+        with self._submit_lock:
+            if self._shutdown:
+                raise RuntimeError(f"pool {self.name!r} is shut down")
+            try:
+                self._queue.put_nowait((handler, item))
+            except queue.Full:
+                self.rejected += 1
+                raise PoolOverloadedError(
+                    f"pool {self.name!r} queue is full "
+                    f"({self.max_queue} waiting)"
+                ) from None
 
     @property
     def queue_length(self) -> int:
@@ -137,11 +146,20 @@ class ThreadPool:
     # ------------------------------------------------------------------
     def shutdown(self, wait: bool = True, timeout: float = 5.0) -> None:
         """Stop all workers after the queue drains."""
-        if self._shutdown:
-            return
-        self._shutdown = True
+        with self._submit_lock:
+            if self._shutdown:
+                return
+            self._shutdown = True
         for _ in self._threads:
-            self._queue.put(_SHUTDOWN)
+            # A bounded queue may be at capacity; keep trying while any
+            # worker remains alive to drain it.
+            while True:
+                try:
+                    self._queue.put(_SHUTDOWN, timeout=0.1)
+                    break
+                except queue.Full:
+                    if not any(t.is_alive() for t in self._threads):
+                        break
         if wait:
             for thread in self._threads:
                 thread.join(timeout=timeout)

@@ -43,8 +43,14 @@ from repro.server.gateway import (
     interpret_result,
     render_page,
 )
-from repro.server.netbase import ClientConnection, Listener, PeriodicTask
+from repro.server.netbase import (
+    DEFAULT_SOCKET_TIMEOUT,
+    ClientConnection,
+    Listener,
+    PeriodicTask,
+)
 from repro.server.pools import PoolOverloadedError, ThreadPool
+from repro.server.reactor import ConnectionReactor
 from repro.server.static import serve_static
 from repro.server.stats import ServerStats
 from repro.util.clock import Clock, MonotonicClock
@@ -70,7 +76,10 @@ class StagedServer:
                  policy: Optional[SchedulingPolicy] = None,
                  clock: Optional[Clock] = None,
                  queue_sample_interval: float = 1.0,
-                 max_queue: Optional[int] = None):
+                 max_queue: Optional[int] = None,
+                 socket_timeout: float = DEFAULT_SOCKET_TIMEOUT,
+                 idle_timeout: Optional[float] = None,
+                 max_connections: Optional[int] = None):
         self.app = app
         self.connection_pool = connection_pool
         if policy is None:
@@ -99,24 +108,40 @@ class StagedServer:
         self.clock = clock if clock is not None else MonotonicClock()
         self.stats = ServerStats(self.clock)
 
+        # max_queue bounds *all five* stages: backpressure must be
+        # end-to-end, or one unbounded stage absorbs the overload the
+        # bounded ones tried to shed.
         self.header_pool = ThreadPool("header", config.header_pool_size,
                                        max_queue=max_queue)
-        self.static_pool = ThreadPool("static", config.static_pool_size)
+        self.static_pool = ThreadPool("static", config.static_pool_size,
+                                      max_queue=max_queue)
         self.general_pool = ThreadPool(
             "general",
             config.general_pool_size,
             worker_init=self._bind_worker_connection,
             worker_cleanup=self._release_worker_connection,
+            max_queue=max_queue,
         )
         self.lengthy_pool = ThreadPool(
             "lengthy",
             config.lengthy_pool_size,
             worker_init=self._bind_worker_connection,
             worker_cleanup=self._release_worker_connection,
+            max_queue=max_queue,
         )
-        self.render_pool = ThreadPool("render", config.render_pool_size)
+        self.render_pool = ThreadPool("render", config.render_pool_size,
+                                      max_queue=max_queue)
 
-        self._listener = Listener(host, port, self._on_accept)
+        self.reactor = ConnectionReactor(
+            self._submit_header_parse,
+            idle_timeout=idle_timeout if idle_timeout is not None
+            else socket_timeout,
+            max_connections=max_connections,
+            on_idle_reap=self.stats.record_idle_reap,
+            on_shed=self.stats.record_shed,
+        )
+        self._listener = Listener(host, port, self._on_accept,
+                                  socket_timeout=socket_timeout)
         self._reserve_ticker = PeriodicTask(
             config.reserve_update_interval, self._reserve_tick, name="reserve"
         )
@@ -131,6 +156,7 @@ class StagedServer:
         return self._listener.address
 
     def start(self) -> "StagedServer":
+        self.reactor.start()
         self._listener.start()
         self._reserve_ticker.start()
         self._sampler.start()
@@ -142,6 +168,7 @@ class StagedServer:
             return
         self._running = False
         self._listener.stop()
+        self.reactor.stop()
         self._reserve_ticker.stop()
         self._sampler.stop()
         for pool in (self.header_pool, self.static_pool, self.general_pool,
@@ -184,16 +211,43 @@ class StagedServer:
         for pool in (self.header_pool, self.static_pool, self.general_pool,
                      self.lengthy_pool, self.render_pool):
             self.stats.sample_queue(pool.name, pool.queue_length)
+        self.stats.sample_parked(self.reactor.parked_count)
+
+    def sampler_errors(self) -> int:
+        """Exceptions swallowed (but counted) by the periodic tasks."""
+        return self._reserve_ticker.errors + self._sampler.errors
 
     # ------------------------------------------------------------------
-    # Stage 1: listener
+    # Stage 1: listener -> reactor
     # ------------------------------------------------------------------
     def _on_accept(self, client: ClientConnection) -> None:
+        # Park even fresh connections: a client that connects and says
+        # nothing must never occupy a header-parsing thread.
+        self.reactor.park(client)
+
+    def _submit_header_parse(self, client: ClientConnection) -> None:
+        """Reactor callback: the connection has readable bytes."""
+        self.header_pool.submit(self._parse_header, client)
+
+    # ------------------------------------------------------------------
+    # Error/backpressure plumbing: every failure path transmits a
+    # response before the socket closes, and every submit() site maps
+    # PoolOverloadedError to a 503 instead of leaking the connection.
+    # ------------------------------------------------------------------
+    def _fail(self, client: ClientConnection, status: int,
+              message: str = "") -> None:
+        client.send_response(HTTPResponse.error(status, message),
+                             keep_alive=False)
+        client.close_after_error()
+
+    def _submit_job(self, pool: ThreadPool, handler, job: RequestJob) -> None:
         try:
-            self.header_pool.submit(self._parse_header, client)
+            pool.submit(handler, job)
         except PoolOverloadedError:
-            client.send_response(HTTPResponse.error(503), keep_alive=False)
-            client.close_after_error()
+            self._fail(job.client, 503)
+        except RuntimeError:
+            # Pool shut down mid-flight; nothing useful to send.
+            job.client.close()
 
     # ------------------------------------------------------------------
     # Stage 2: header parsing + dispatch (Table 1)
@@ -203,27 +257,25 @@ class StagedServer:
         try:
             request_line = client.read_request_line()
         except HTTPError as exc:
-            client.send_response(HTTPResponse.error(exc.status),
-                                 keep_alive=False)
-            client.close()
+            self._fail(client, exc.status, exc.message)
             return
         if request_line is None:
             client.close()
             return
         # The request line alone decides static vs. dynamic (§3.2).
-        try:
-            target = request_line.split(" ")[1]
-        except IndexError:
-            client.send_response(HTTPResponse.error(400), keep_alive=False)
-            client.close()
+        # maxsplit keeps multi/leading-space lines from mis-targeting;
+        # the strict parser in finish_request stays authoritative.
+        parts = request_line.split(maxsplit=2)
+        if len(parts) != 3:
+            self._fail(client, 400, f"malformed request line: {request_line!r}")
             return
-        path = target.split("?", 1)[0]
+        path = parts[1].split("?", 1)[0]
 
         if self.policy.classifier.is_static(path):
             # Static threads parse their own headers.
             job.page_key = path
             job.request_class = "static"
-            self.static_pool.submit(self._serve_static, job)
+            self._submit_job(self.static_pool, self._serve_static, job)
             return
 
         # Dynamic: this thread parses the rest of the header data and
@@ -231,18 +283,16 @@ class StagedServer:
         try:
             job.request = client.finish_request()
         except HTTPError as exc:
-            client.send_response(HTTPResponse.error(exc.status),
-                                 keep_alive=False)
-            client.close()
+            self._fail(client, exc.status, exc.message)
             return
         job.page_key = job.request.path
         choice = self.policy.route(job.request.path, tspare=self.general_pool.spare)
         if choice is DynamicPoolChoice.GENERAL:
             job.request_class = "dynamic"
-            self.general_pool.submit(self._serve_dynamic, job)
+            self._submit_job(self.general_pool, self._serve_dynamic, job)
         else:
             job.request_class = "lengthy"
-            self.lengthy_pool.submit(self._serve_dynamic, job)
+            self._submit_job(self.lengthy_pool, self._serve_dynamic, job)
 
     # ------------------------------------------------------------------
     # Stage 3a: static requests
@@ -251,9 +301,7 @@ class StagedServer:
         try:
             job.request = job.client.finish_request()
         except HTTPError as exc:
-            job.client.send_response(HTTPResponse.error(exc.status),
-                                     keep_alive=False)
-            job.client.close()
+            self._fail(job.client, exc.status, exc.message)
             return
         try:
             response = serve_static(self.app, job.request)
@@ -280,7 +328,7 @@ class StagedServer:
             generation_seconds = self.clock.now() - generation_started
             self.policy.record_generation_time(job.page_key, generation_seconds)
             self.stats.record_generation_time(job.page_key, generation_seconds)
-            self.render_pool.submit(self._render, job)
+            self._submit_job(self.render_pool, self._render, job)
         else:
             # Backward compatibility: a pre-rendered string is sent by
             # this thread directly (§3.2).
@@ -302,18 +350,19 @@ class StagedServer:
 
     # ------------------------------------------------------------------
     def _complete(self, job: RequestJob, response: HTTPResponse) -> None:
-        """Transmit and either recycle (keep-alive) or close."""
+        """Transmit and either park (keep-alive) or close."""
         response = head_strip(job.request, response)
         keep_alive = job.request.keep_alive if job.request is not None else False
-        job.client.send_response(response, keep_alive=keep_alive)
-        self.stats.record_completion(
-            job.page_key, job.request_class, self.clock.now() - job.arrival
-        )
+        sent = job.client.send_response(response, keep_alive=keep_alive)
+        if sent:
+            # A 0-byte send means the peer was already gone; counting
+            # it as a completion would inflate throughput.
+            self.stats.record_completion(
+                job.page_key, job.request_class, self.clock.now() - job.arrival
+            )
         if keep_alive and not job.client.closed and self._running:
-            try:
-                self.header_pool.submit(self._parse_header, job.client)
-            except (PoolOverloadedError, RuntimeError):
-                # Queue full, or the pool shut down mid-flight.
-                job.client.close()
+            # Back to the reactor, not the header pool: the connection
+            # may stay idle for seconds and must not block a thread.
+            self.reactor.park(job.client)
         else:
             job.client.close()

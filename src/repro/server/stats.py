@@ -30,26 +30,35 @@ class ServerStats:
         self.queue_series: Dict[str, TimeSeries] = {}
         self.spare_series = TimeSeries("general-spare")
         self.treserve_series = TimeSeries("treserve")
+        self.parked_series = TimeSeries("parked-connections")
+        self._connection_counters: Dict[str, int] = {
+            "idle_reaped": 0,
+            "sheds": 0,
+        }
 
+    # ------------------------------------------------------------------
+    # Every recording method computes its timestamp *inside* the lock:
+    # TimeSeries.append rejects out-of-order samples, so two threads
+    # that read the clock and then raced to append could otherwise
+    # blow up (and Welford updates outside the lock corrupted state).
     # ------------------------------------------------------------------
     def record_completion(self, page: str, request_class: str,
                           response_seconds: float) -> None:
         """One finished web interaction."""
-        now = self.clock.now() - self.started_at
         with self._lock:
+            now = self.clock.now() - self.started_at
             self._completions[page] = self._completions.get(page, 0) + 1
             accumulator = self._response_times.get(page)
             if accumulator is None:
                 accumulator = WelfordAccumulator(page)
                 self._response_times[page] = accumulator
-        accumulator.add(response_seconds)
-        self._completion_events.append(now, 1.0)
-        with self._lock:
+            accumulator.add(response_seconds)
+            self._completion_events.append(now, 1.0)
             series = self._class_events.get(request_class)
             if series is None:
                 series = TimeSeries(f"completions/{request_class}")
                 self._class_events[request_class] = series
-        series.append(now, 1.0)
+            series.append(now, 1.0)
 
     def record_generation_time(self, page: str, seconds: float) -> None:
         """Data-generation time for a dynamic page (server-side view)."""
@@ -58,21 +67,49 @@ class ServerStats:
             if accumulator is None:
                 accumulator = WelfordAccumulator(page)
                 self._generation_times[page] = accumulator
-        accumulator.add(seconds)
+            accumulator.add(seconds)
 
     def sample_queue(self, pool_name: str, length: int) -> None:
-        now = self.clock.now() - self.started_at
         with self._lock:
+            now = self.clock.now() - self.started_at
             series = self.queue_series.get(pool_name)
             if series is None:
                 series = TimeSeries(f"queue/{pool_name}")
                 self.queue_series[pool_name] = series
-        series.append(now, length)
+            series.append(now, length)
 
     def sample_reserve(self, tspare: int, treserve: int) -> None:
-        now = self.clock.now() - self.started_at
-        self.spare_series.append(now, tspare)
-        self.treserve_series.append(now, treserve)
+        with self._lock:
+            now = self.clock.now() - self.started_at
+            self.spare_series.append(now, tspare)
+            self.treserve_series.append(now, treserve)
+
+    # ------------------------------------------------------------------
+    # Connection-reactor gauges
+    # ------------------------------------------------------------------
+    def sample_parked(self, count: int) -> None:
+        """Periodic sample of connections parked in the reactor."""
+        with self._lock:
+            now = self.clock.now() - self.started_at
+            self.parked_series.append(now, count)
+
+    def record_idle_reap(self) -> None:
+        """The reactor closed a connection idle past its timeout."""
+        with self._lock:
+            self._connection_counters["idle_reaped"] += 1
+
+    def record_shed(self) -> None:
+        """The reactor shed a connection (cap reached or pool full)."""
+        with self._lock:
+            self._connection_counters["sheds"] += 1
+
+    def connection_gauges(self) -> Dict[str, int]:
+        """Current reactor view: parked connections, reaps, sheds."""
+        with self._lock:
+            gauges = dict(self._connection_counters)
+        values = self.parked_series.values
+        gauges["parked"] = int(values[-1]) if values else 0
+        return gauges
 
     # ------------------------------------------------------------------
     def completions(self) -> Dict[str, int]:

@@ -55,14 +55,21 @@ def small_staged_policy():
 def server(request):
     app, database = build_app()
     if request.param == "baseline":
-        instance = BaselineServer(app, ConnectionPool(database, 4))
+        instance = BaselineServer(app, ConnectionPool(database, 4),
+                                  queue_sample_interval=0.05)
     else:
         instance = StagedServer(
-            app, ConnectionPool(database, 8), policy=small_staged_policy()
+            app, ConnectionPool(database, 8), policy=small_staged_policy(),
+            queue_sample_interval=0.05,
         )
     instance.start()
     yield instance
     instance.stop()
+    # Samplers must have run clean the whole session: swallowed
+    # exceptions are counted, and CI asserts there were none.
+    assert instance.sampler_errors() == 0, repr(
+        instance._sampler.last_error
+    )
 
 
 class TestBothServers:
@@ -198,6 +205,40 @@ class TestStagedSpecifics:
             assert b"pre-rendered" in second
         finally:
             server.stop()
+
+
+class TestKeepAliveBothServers:
+    def test_keep_alive_round_trips(self, server):
+        import socket
+
+        host, port = server.address
+        with socket.create_connection((host, port), timeout=5) as sock:
+            request = b"GET /legacy HTTP/1.1\r\nHost: x\r\n\r\n"
+            for _ in range(3):
+                sock.sendall(request)
+                assert b"pre-rendered" in _read_one_response(sock)
+
+    def test_pipelined_requests_both_served(self, server):
+        import socket
+        import time
+
+        host, port = server.address
+        request = b"GET /legacy HTTP/1.1\r\nHost: x\r\n\r\n"
+        with socket.create_connection((host, port), timeout=5) as sock:
+            sock.sendall(request + request)  # back to back, one write
+            # Both responses may share one segment; read the stream.
+            data = b""
+            deadline = time.time() + 5
+            while data.count(b"pre-rendered") < 2 and time.time() < deadline:
+                sock.settimeout(max(0.1, deadline - time.time()))
+                try:
+                    chunk = sock.recv(65536)
+                except socket.timeout:
+                    break
+                if not chunk:
+                    break
+                data += chunk
+        assert data.count(b"pre-rendered") == 2
 
 
 def _read_one_response(sock) -> bytes:

@@ -28,7 +28,7 @@ class TestPeriodicTask:
         time.sleep(0.08)
         assert len(count) == snapshot
 
-    def test_callback_exception_survives(self):
+    def test_callback_exception_survives_and_is_counted(self):
         calls = []
 
         def flaky():
@@ -40,6 +40,18 @@ class TestPeriodicTask:
         time.sleep(0.08)
         task.stop()
         assert len(calls) >= 2  # kept firing despite the exception
+        # Swallowed exceptions are counted, not hidden: CI can assert
+        # samplers ran clean.
+        assert task.errors == len(calls)
+        assert isinstance(task.last_error, RuntimeError)
+
+    def test_clean_callback_counts_no_errors(self):
+        task = PeriodicTask(0.02, lambda: None)
+        task.start()
+        time.sleep(0.08)
+        task.stop()
+        assert task.errors == 0
+        assert task.last_error is None
 
     def test_invalid_interval(self):
         with pytest.raises(ValueError):
@@ -131,6 +143,55 @@ class TestClientConnection:
             assert sent > 0
             data = client.recv(65536)
             assert data.endswith(b"hi")
+        finally:
+            client.close()
+            connection.close()
+
+    def test_stall_mid_request_raises_408_not_disconnect(self):
+        from repro.http.errors import RequestTimeoutError
+
+        server = socket.socket()
+        server.bind(("127.0.0.1", 0))
+        server.listen(1)
+        client = socket.create_connection(server.getsockname(), timeout=5)
+        accepted, _ = server.accept()
+        server.close()
+        connection = ClientConnection(accepted, timeout=0.2)
+        try:
+            client.sendall(b"GET /x HTTP/1.1\r\nHost:")  # stalls mid-headers
+            with pytest.raises(RequestTimeoutError) as excinfo:
+                connection.read_request()
+            assert excinfo.value.status == 408
+        finally:
+            client.close()
+            connection.close()
+
+    def test_idle_timeout_with_no_bytes_is_clean_close(self):
+        # A keep-alive client that never starts a request timed out:
+        # that is an idle disconnect (None), not a 408.
+        server = socket.socket()
+        server.bind(("127.0.0.1", 0))
+        server.listen(1)
+        client = socket.create_connection(server.getsockname(), timeout=5)
+        accepted, _ = server.accept()
+        server.close()
+        connection = ClientConnection(accepted, timeout=0.2)
+        try:
+            assert connection.read_request() is None
+        finally:
+            client.close()
+            connection.close()
+
+    def test_has_buffered_data_tracks_leftover(self):
+        client, connection = self._pair()
+        try:
+            assert not connection.has_buffered_data()
+            client.sendall(b"GET /a HTTP/1.1\r\n\r\nGET /b HT")
+            connection.read_request()
+            assert connection.has_buffered_data()  # pipelined fragment
+            client.sendall(b"TP/1.1\r\n\r\n")
+            connection.read_request()
+            assert not connection.has_buffered_data()
         finally:
             client.close()
             connection.close()

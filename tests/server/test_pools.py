@@ -163,3 +163,85 @@ class TestAdmissionControl:
     def test_invalid_max_queue(self):
         with pytest.raises(ValueError):
             ThreadPool("t", 1, max_queue=0)
+
+
+class TestSubmitRaces:
+    """The old submit() read qsize() and _shutdown without a lock, so
+    concurrent submits could overshoot the bound or enqueue into a
+    shut-down pool.  These hammer the atomic put_nowait path."""
+
+    def test_concurrent_submits_never_overshoot_bound(self):
+        from repro.server.pools import PoolOverloadedError
+
+        pool = ThreadPool("t", 1, max_queue=5)
+        release = threading.Event()
+        pool.submit(lambda _x: release.wait(timeout=30), None)
+        deadline = time.time() + 5
+        while pool.busy != 1 and time.time() < deadline:
+            time.sleep(0.01)
+        assert pool.busy == 1  # the blocker is running, queue is empty
+
+        admitted = []
+        admitted_lock = threading.Lock()
+        barrier = threading.Barrier(8)
+
+        def hammer():
+            barrier.wait(timeout=5)
+            for _ in range(50):
+                try:
+                    pool.submit(lambda _x: None, None)
+                except PoolOverloadedError:
+                    continue
+                with admitted_lock:
+                    admitted.append(1)
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10)
+        # With the worker blocked, nothing drains: exactly max_queue
+        # submissions may succeed, never one more.
+        assert len(admitted) == 5
+        assert pool.queue_length == 5
+        assert pool.rejected == 8 * 50 - 5
+        release.set()
+        pool.shutdown()
+
+    def test_concurrent_submit_and_shutdown(self):
+        from repro.server.pools import PoolOverloadedError
+
+        for _ in range(10):
+            pool = ThreadPool("t", 2, max_queue=4)
+            barrier = threading.Barrier(5)
+            outcomes = []
+            outcomes_lock = threading.Lock()
+
+            def submitter():
+                barrier.wait(timeout=5)
+                for _ in range(20):
+                    try:
+                        pool.submit(lambda _x: None, None)
+                        result = "ok"
+                    except PoolOverloadedError:
+                        result = "full"
+                    except RuntimeError:
+                        result = "shutdown"
+                    with outcomes_lock:
+                        outcomes.append(result)
+
+            def stopper():
+                barrier.wait(timeout=5)
+                pool.shutdown(wait=False)
+
+            threads = [threading.Thread(target=submitter) for _ in range(4)]
+            threads.append(threading.Thread(target=stopper))
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=10)
+            # Every submit resolved one of the three ways; none crashed
+            # a worker or slipped into the closed queue unnoticed.
+            assert len(outcomes) == 80
+            with pytest.raises(RuntimeError):
+                pool.submit(lambda _x: None, None)

@@ -1,5 +1,7 @@
 """ServerStats tests."""
 
+import threading
+
 import pytest
 
 from repro.server.stats import ServerStats
@@ -62,3 +64,54 @@ class TestSeries:
 
     def test_unknown_class_empty(self, stats):
         assert len(stats.class_throughput_series("nope")) == 0
+
+
+class TestConnectionGauges:
+    def test_counters_and_parked_sample(self, stats):
+        stats.record_idle_reap()
+        stats.record_idle_reap()
+        stats.record_shed()
+        stats.sample_parked(4)
+        gauges = stats.connection_gauges()
+        assert gauges == {"idle_reaped": 2, "sheds": 1, "parked": 4}
+
+    def test_empty_gauges(self, stats):
+        assert stats.connection_gauges() == {
+            "idle_reaped": 0, "sheds": 0, "parked": 0,
+        }
+
+
+class TestThreadSafety:
+    """Welford updates and TimeSeries appends used to happen outside
+    the stats lock; racing real-clock threads could corrupt the
+    accumulators or trip the series' monotonic-time check."""
+
+    def test_concurrent_recording_stays_consistent(self):
+        stats = ServerStats()  # real monotonic clock: timestamps race
+        errors = []
+        threads_n, records_n = 8, 200
+        barrier = threading.Barrier(threads_n)
+
+        def record():
+            try:
+                barrier.wait(timeout=5)
+                for _ in range(records_n):
+                    stats.record_completion("/a", "dynamic", 0.25)
+                    stats.record_generation_time("/a", 0.125)
+                    stats.sample_queue("general", 1)
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=record) for _ in range(threads_n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert not errors
+        total = threads_n * records_n
+        assert stats.total_completions() == total
+        assert stats.completions()["/a"] == total
+        # Identical samples: a corrupted Welford state would drift.
+        assert stats.mean_response_times()["/a"] == pytest.approx(0.25)
+        assert stats.mean_generation_times()["/a"] == pytest.approx(0.125)
+        assert len(stats.queue_series["general"]) == total
