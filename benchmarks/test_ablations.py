@@ -11,18 +11,41 @@ A4  Baseline pool-size sensitivity — the paper does not report its
     pool sizes; this quantifies how the headline throughput gain
     depends on the unmodified server's thread/connection count
     relative to the staged server's (DESIGN.md §6).
+A5  No-render-pool topology, live — ``StagedServer(render_inline=True)``
+    drops the Template Rendering stage from the stage graph (four
+    stages instead of five); dynamic threads render inline and the
+    paper's pipelining win disappears.
+A6  Single-pool dispatch, live — the same live :class:`StagedServer`
+    with ``AlwaysGeneralDispatcher``: quick requests convoy behind
+    slow ones exactly like the baseline, despite the five pools.
+
+A1–A4 run in the discrete-event simulator; A5–A6 run the real threaded
+server over loopback sockets.  All six are *configurations* — a
+dispatcher object or a topology flag — not server subclasses: the
+stage-pipeline core (`repro.server.pipeline`) makes the graph itself
+the configuration surface.
 """
 
 import dataclasses
+import threading
+import time
 
 import pytest
 
 from repro.core.dispatch import AlwaysGeneralDispatcher, StrictSeparationDispatcher
+from repro.core.policy import PolicyConfig, SchedulingPolicy
+from repro.db.engine import Database
+from repro.db.pool import ConnectionPool
+from repro.http.client import http_request
+from repro.server.app import Application
+from repro.server.staged import StagedServer
 from repro.sim.workload import (
     LENGTHY_REPORT_PAGES,
     WorkloadConfig,
     run_tpcw_simulation,
 )
+from repro.templates.engine import TemplateEngine
+from repro.templates.filters import FILTERS, register_filter
 from repro.tpcw.mix import PAPER_PAGE_NAMES
 
 QUICK_PAGE = "/home"
@@ -141,3 +164,174 @@ def test_a4_baseline_sizing_sensitivity(benchmark):
     ordered = [gains[w] for w in sorted(gains)]
     assert ordered[0] > ordered[-1], "gain must shrink as baseline grows"
     assert ordered[0] > 15.0, "undersized baseline must show a large gain"
+
+
+# ----------------------------------------------------------------------
+# Live-topology ablations: the real threaded server, alternate stage
+# graphs, no subclasses.
+# ----------------------------------------------------------------------
+RENDER_SECONDS = 0.12
+RENDER_REQUESTS = 6
+SLOW_SECONDS = 0.6
+
+
+@pytest.fixture()
+def slow_render_filter():
+    register_filter(
+        "ablation_slow_render",
+        lambda value, arg=None: (time.sleep(RENDER_SECONDS), str(value))[1],
+    )
+    yield
+    del FILTERS["ablation_slow_render"]
+
+
+def build_render_heavy_app():
+    database = Database()
+    app = Application(templates=TemplateEngine(sources={
+        "heavy.html": "rendered: {{ v|ablation_slow_render }}",
+    }))
+
+    @app.expose("/page")
+    def page(v="x"):
+        return ("heavy.html", {"v": v})  # instant data generation
+
+    return app, database
+
+
+def small_policy(dispatcher=None, render_pool=3):
+    return SchedulingPolicy(
+        PolicyConfig(
+            general_pool_size=1, lengthy_pool_size=1, minimum_reserve=1,
+            header_pool_size=2, static_pool_size=1,
+            render_pool_size=render_pool,
+        ),
+        dispatcher=dispatcher,
+    )
+
+
+def render_makespan(host, port):
+    """Fire RENDER_REQUESTS concurrent requests; return total wall time."""
+    errors = []
+
+    def client(i):
+        try:
+            response = http_request(host, port, f"/page?v={i}", timeout=30)
+            assert response.status == 200
+        except Exception as exc:  # noqa: BLE001
+            errors.append(exc)
+
+    threads = [threading.Thread(target=client, args=(i,))
+               for i in range(RENDER_REQUESTS)]
+    started = time.monotonic()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=60)
+    assert not errors
+    return time.monotonic() - started
+
+
+def test_a5_no_render_pool_topology_live(benchmark, slow_render_filter):
+    """Dropping the render stage (four-stage graph, ``render_inline``)
+    serialises render-heavy traffic on the connection-holding dynamic
+    thread; the five-stage graph overlaps renders in its render pool.
+    Same server class, different stage graph."""
+    times = {}
+
+    def measure():
+        for label, render_inline in (("five-stage", False),
+                                     ("four-stage-inline", True)):
+            app, database = build_render_heavy_app()
+            server = StagedServer(
+                app, ConnectionPool(database, 2), policy=small_policy(),
+                render_inline=render_inline,
+            ).start()
+            try:
+                times[label] = render_makespan(*server.address)
+            finally:
+                server.stop()
+        return times
+
+    benchmark.pedantic(measure, rounds=1, iterations=1)
+    serial_floor = RENDER_REQUESTS * RENDER_SECONDS
+    print(f"\nA5 makespan: five-stage {times['five-stage']:.2f}s vs "
+          f"render-inline {times['four-stage-inline']:.2f}s "
+          f"(serial floor {serial_floor:.2f}s)")
+    benchmark.extra_info["five_stage_s"] = round(times["five-stage"], 3)
+    benchmark.extra_info["inline_s"] = round(times["four-stage-inline"], 3)
+    # Inline: the one general thread renders serially.
+    assert times["four-stage-inline"] > serial_floor * 0.8
+    # Render pool of 3 overlaps: well under the inline makespan.
+    assert times["five-stage"] < times["four-stage-inline"] * 0.6
+
+
+def test_a6_always_general_dispatch_live(benchmark):
+    """A1's single-pool dispatch on the *live* server: with
+    ``AlwaysGeneralDispatcher`` a quick request convoys behind a slow
+    one in the general pool; the paper's Table 1 dispatcher diverts
+    the slow request and the quick one sails through.  Same stage
+    graph, different dispatcher object."""
+    def build_convoy_app():
+        database = Database()
+        app = Application(
+            templates=TemplateEngine(sources={"p.html": "done {{ which }}"})
+        )
+
+        @app.expose("/slow")
+        def slow():
+            time.sleep(SLOW_SECONDS)  # a lengthy database query
+            return ("p.html", {"which": "slow"})
+
+        @app.expose("/fast")
+        def fast():
+            return ("p.html", {"which": "fast"})
+
+        return app, database
+
+    def fast_latency(server):
+        host, port = server.address
+        slow_started = threading.Event()
+
+        def slow_client():
+            slow_started.set()
+            http_request(host, port, "/slow", timeout=30)
+
+        slow_thread = threading.Thread(target=slow_client)
+        slow_thread.start()
+        slow_started.wait(timeout=5)
+        time.sleep(0.05)  # let /slow occupy its worker
+        started = time.monotonic()
+        response = http_request(host, port, "/fast", timeout=30)
+        elapsed = time.monotonic() - started
+        slow_thread.join(timeout=30)
+        assert response.status == 200
+        return elapsed
+
+    latencies = {}
+
+    def measure():
+        for label, dispatcher in (("table1", None),
+                                  ("always-general",
+                                   AlwaysGeneralDispatcher())):
+            app, database = build_convoy_app()
+            policy = small_policy(dispatcher=dispatcher, render_pool=1)
+            # Warm start: the classifier already knows /slow is lengthy.
+            policy.tracker.prime("/slow", 10.0)
+            server = StagedServer(app, ConnectionPool(database, 2),
+                                  policy=policy).start()
+            try:
+                latencies[label] = fast_latency(server)
+            finally:
+                server.stop()
+        return latencies
+
+    benchmark.pedantic(measure, rounds=1, iterations=1)
+    print(f"\nA6 /fast latency: Table 1 dispatch {latencies['table1']:.3f}s "
+          f"vs always-general {latencies['always-general']:.3f}s")
+    benchmark.extra_info["table1_s"] = round(latencies["table1"], 3)
+    benchmark.extra_info["always_general_s"] = round(
+        latencies["always-general"], 3)
+    # Table 1 diverts /slow to the lengthy pool; /fast sails through.
+    assert latencies["table1"] < SLOW_SECONDS * 0.5
+    # Single-pool dispatch: /fast convoys behind /slow's sleep.
+    assert latencies["always-general"] > SLOW_SECONDS * 0.6

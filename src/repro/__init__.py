@@ -21,6 +21,7 @@ from repro.db.engine import Database
 from repro.db.pool import ConnectionPool
 from repro.server.app import Application
 from repro.server.baseline import BaselineServer
+from repro.server.pipeline import Pipeline, Stage
 from repro.server.staged import StagedServer
 from repro.sim.workload import WorkloadConfig, run_tpcw_simulation
 from repro.templates.engine import Template, TemplateEngine
@@ -34,6 +35,8 @@ __all__ = [
     "ConnectionPool",
     "Application",
     "BaselineServer",
+    "Pipeline",
+    "Stage",
     "StagedServer",
     "WorkloadConfig",
     "run_tpcw_simulation",

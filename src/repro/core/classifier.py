@@ -44,6 +44,18 @@ class RequestClass(enum.Enum):
         return self is not RequestClass.STATIC
 
 
+def page_key(path: str) -> str:
+    """The key under which a page's timing and stats are tracked.
+
+    Query strings and fragments vary per request; timing is per *page*
+    (``/homepage?userid=5`` and ``/homepage?userid=9`` share one
+    history), so the key is the bare path.  Both servers route every
+    stats/tracker key through this one function so query-string
+    variants never fragment the tracker or the completion counters.
+    """
+    return path.split("?", 1)[0].split("#", 1)[0]
+
+
 def path_extension(path: str) -> Optional[str]:
     """Extract the file extension of a request path, or None.
 
@@ -104,11 +116,9 @@ class RequestClassifier:
     def page_key(self, path: str) -> str:
         """The key under which a dynamic page's timing is tracked.
 
-        Query strings vary per request; timing is per *page*
-        (``/homepage?userid=5`` and ``/homepage?userid=9`` share one
-        history), so the key is the bare path.
+        Delegates to the module-level :func:`page_key`.
         """
-        return path.split("?", 1)[0].split("#", 1)[0]
+        return page_key(path)
 
     def classify(self, path: str) -> RequestClass:
         """Full classification of a request path."""

@@ -98,6 +98,39 @@ def export_bench_json(document: Dict, path: str) -> str:
     return path
 
 
+def server_stats_document(stats) -> Dict:
+    """A live server's ``ServerStats`` as one JSON-serialisable document.
+
+    Includes the per-stage queue-wait/service-time breakdown (with
+    p50/p95/p99) the stage pipeline records on every hop, and per-page
+    response-time percentile summaries — the labels are the same ones
+    the simulator exports (``static``/``dynamic``/``quick``/``lengthy``
+    for classes, stage names for pools), so downstream tooling can
+    compare live runs against simulated ones.
+    """
+    return {
+        "completions": stats.completions(),
+        "total_completions": stats.total_completions(),
+        "response_times": stats.response_time_summary(),
+        "generation_times": stats.mean_generation_times(),
+        "stage_timings": stats.stage_timing_summary(),
+        "queue_series": {
+            name: _series_samples(series)
+            for name, series in stats.queue_series.items()
+        },
+        "connection_gauges": stats.connection_gauges(),
+    }
+
+
+def export_server_stats_json(stats, path: str) -> str:
+    """Write a server's stats document to ``path``; returns the path."""
+    document = server_stats_document(stats)
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(document, f, indent=2, sort_keys=True)
+        f.write("\n")
+    return path
+
+
 def export_figures(runner: ExperimentRunner, directory: str) -> List[str]:
     """Write one ``.dat`` file per figure into ``directory``.
 

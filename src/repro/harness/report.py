@@ -159,6 +159,59 @@ def format_figure10(
     return "\n".join(sections)
 
 
+def _format_summary_cells(summary: Dict[str, float]) -> str:
+    if not summary.get("count"):
+        return f"{'-':>8s} {'-':>8s} {'-':>8s} {'-':>8s} {0:>7d}"
+    return (
+        f"{summary['mean']:>8.4f} {summary['p50']:>8.4f} "
+        f"{summary['p95']:>8.4f} {summary['p99']:>8.4f} "
+        f"{summary['count']:>7d}"
+    )
+
+
+def format_stage_breakdown(stats) -> str:
+    """Per-stage latency breakdown from a live server's ``ServerStats``.
+
+    Two rows per stage — queue wait and service time — each with
+    mean/p50/p95/p99 in seconds.  This is where a request's latency
+    went (header vs. general vs. render): the paper's Figure 7/8 queue
+    story, measured per request by the stage pipeline instead of
+    sampled once a second.
+    """
+    breakdown = stats.stage_timing_summary()
+    lines = [
+        "Per-stage latency breakdown (seconds)",
+        f"{'stage':<18s} {'mean':>8s} {'p50':>8s} {'p95':>8s} "
+        f"{'p99':>8s} {'count':>7s}",
+    ]
+    if not breakdown:
+        lines.append("(no stage timings recorded)")
+        return "\n".join(lines)
+    for stage in sorted(breakdown):
+        timings = breakdown[stage]
+        lines.append(f"{stage + ' (queued)':<18s} "
+                     + _format_summary_cells(timings["queue_wait"]))
+        lines.append(f"{stage + ' (service)':<18s} "
+                     + _format_summary_cells(timings["service"]))
+    return "\n".join(lines)
+
+
+def format_page_percentiles(stats) -> str:
+    """Per-page response-time percentile summary from ``ServerStats``."""
+    summaries = stats.response_time_summary()
+    lines = [
+        "Per-page response-time percentiles (seconds)",
+        f"{'page':<34s} {'mean':>8s} {'p50':>8s} {'p95':>8s} "
+        f"{'p99':>8s} {'count':>7s}",
+    ]
+    if not summaries:
+        lines.append("(no completions recorded)")
+        return "\n".join(lines)
+    for page in sorted(summaries):
+        lines.append(f"{page:<34s} " + _format_summary_cells(summaries[page]))
+    return "\n".join(lines)
+
+
 def full_report(runner: ExperimentRunner) -> str:
     """The complete §4 reproduction as one text report."""
     from repro.harness.experiments import run_table2

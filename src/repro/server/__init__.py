@@ -21,6 +21,18 @@ except for the paper's one-line change: staged handlers return
 
 from repro.server.app import Application, RequestContext
 from repro.server.baseline import BaselineServer
+from repro.server.pipeline import (
+    DONE,
+    Complete,
+    Fail,
+    Pipeline,
+    PipelineServer,
+    RequestJob,
+    RequestLifecycle,
+    RouteTo,
+    Stage,
+    StageTiming,
+)
 from repro.server.pools import ThreadPool
 from repro.server.reactor import ConnectionReactor
 from repro.server.staged import StagedServer
@@ -30,7 +42,17 @@ __all__ = [
     "Application",
     "RequestContext",
     "BaselineServer",
+    "Complete",
     "ConnectionReactor",
+    "DONE",
+    "Fail",
+    "Pipeline",
+    "PipelineServer",
+    "RequestJob",
+    "RequestLifecycle",
+    "RouteTo",
+    "Stage",
+    "StageTiming",
     "ThreadPool",
     "StagedServer",
     "ServerStats",

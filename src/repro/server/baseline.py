@@ -8,38 +8,46 @@ connection for its whole lifetime — the trend the paper documents
 (§1) — so the worker count equals the connection count, and a
 connection sits idle whenever its thread parses headers, serves static
 files, or renders templates.
+
+Architecturally this is now just the degenerate stage graph: one
+:class:`repro.server.pipeline.Stage` carrying a request start to
+finish over the same :class:`~repro.server.pipeline.Pipeline` core the
+staged server uses, so both servers share every line of submit,
+overload/503, completion, and shutdown plumbing — the comparison in
+the paper's experiments measures the *topology*, nothing else.
 """
 
 from __future__ import annotations
 
 from typing import Optional
 
+from repro.core.classifier import RequestClass, page_key
 from repro.db.pool import ConnectionPool
 from repro.http.errors import HTTPError
-from repro.http.request import HTTPRequest
 from repro.http.response import HTTPResponse
 from repro.server.app import Application
 from repro.server.gateway import (
     UnrenderedPage,
     error_response,
-    head_strip,
     interpret_result,
     render_page,
 )
-from repro.server.netbase import (
-    DEFAULT_SOCKET_TIMEOUT,
-    ClientConnection,
-    Listener,
-    PeriodicTask,
+from repro.server.netbase import DEFAULT_SOCKET_TIMEOUT
+from repro.server.pipeline import (
+    DONE,
+    Complete,
+    Fail,
+    PipelineServer,
+    RequestJob,
+    Stage,
+    StageOutcome,
 )
 from repro.server.pools import ThreadPool
-from repro.server.reactor import ConnectionReactor
 from repro.server.static import serve_static
-from repro.server.stats import ServerStats
-from repro.util.clock import Clock, MonotonicClock
+from repro.util.clock import Clock
 
 
-class BaselineServer:
+class BaselineServer(PipelineServer):
     """Conventional thread-per-request CherryPy-style server.
 
     Parameters
@@ -72,91 +80,25 @@ class BaselineServer:
                 f"connection pool size ({connection_pool.size}): each worker "
                 f"pins one connection"
             )
-        self.app = app
-        self.connection_pool = connection_pool
-        self.clock = clock if clock is not None else MonotonicClock()
-        self.stats = ServerStats(self.clock)
-        self.worker_pool = ThreadPool(
-            "worker",
-            workers,
-            worker_init=self._bind_worker_connection,
-            worker_cleanup=self._release_worker_connection,
-            max_queue=max_queue,
+        stages = [
+            Stage("worker", workers, self._serve_client,
+                  worker_init=self._bind_worker_connection,
+                  worker_cleanup=self._release_worker_connection),
+        ]
+        super().__init__(
+            app, connection_pool, stages, entry="worker",
+            host=host, port=port, clock=clock,
+            queue_sample_interval=queue_sample_interval,
+            max_queue=max_queue, socket_timeout=socket_timeout,
+            idle_timeout=idle_timeout, max_connections=max_connections,
         )
-        self.reactor = ConnectionReactor(
-            self._submit_serve,
-            idle_timeout=idle_timeout if idle_timeout is not None
-            else socket_timeout,
-            max_connections=max_connections,
-            on_idle_reap=self.stats.record_idle_reap,
-            on_shed=self.stats.record_shed,
-        )
-        self._listener = Listener(host, port, self._on_accept,
-                                  socket_timeout=socket_timeout)
-        self._sampler = PeriodicTask(
-            queue_sample_interval, self._sample_queues, name="queue-sampler"
-        )
-        self._running = False
 
-    # ------------------------------------------------------------------
     @property
-    def address(self):
-        return self._listener.address
-
-    def start(self) -> "BaselineServer":
-        self.reactor.start()
-        self._listener.start()
-        self._sampler.start()
-        self._running = True
-        return self
-
-    def stop(self) -> None:
-        if not self._running:
-            return
-        self._running = False
-        self._listener.stop()
-        self.reactor.stop()
-        self._sampler.stop()
-        self.worker_pool.shutdown()
-
-    def __enter__(self) -> "BaselineServer":
-        return self.start()
-
-    def __exit__(self, *exc_info) -> None:
-        self.stop()
+    def worker_pool(self) -> ThreadPool:
+        return self.pipeline.pool("worker")
 
     # ------------------------------------------------------------------
-    def _bind_worker_connection(self) -> None:
-        """Pin one pooled connection to this worker thread for life."""
-        self.app.bind_connection(self.connection_pool.acquire())
-
-    def _release_worker_connection(self) -> None:
-        try:
-            connection = self.app.getconn()
-        except RuntimeError:  # pragma: no cover - init failed
-            return
-        self.app.bind_connection(None)
-        self.connection_pool.release(connection)
-
-    def _sample_queues(self) -> None:
-        self.stats.sample_queue("worker", self.worker_pool.queue_length)
-        self.stats.sample_parked(self.reactor.parked_count)
-
-    def sampler_errors(self) -> int:
-        """Exceptions swallowed (but counted) by the queue sampler."""
-        return self._sampler.errors
-
-    def _on_accept(self, client: ClientConnection) -> None:
-        # Park even fresh connections: a client that connects and says
-        # nothing must never occupy a worker thread.
-        self.reactor.park(client)
-
-    def _submit_serve(self, client: ClientConnection) -> None:
-        """Reactor callback: the connection has readable bytes."""
-        self.worker_pool.submit(self._serve_client, client)
-
-    # ------------------------------------------------------------------
-    def _serve_client(self, client: ClientConnection) -> None:
+    def _serve_client(self, job: RequestJob) -> StageOutcome:
         """Process one ready request start to finish, then re-park.
 
         Still the paper's thread-per-request model — parsing, data
@@ -164,55 +106,38 @@ class BaselineServer:
         the *idle* time between keep-alive requests is spent in the
         reactor's selector, not blocking here.
         """
+        client = job.client
         try:
             request = client.read_request()
         except HTTPError as exc:
             # 400 for malformed, 408 for stalled, 413 for oversized.
-            client.send_response(
-                HTTPResponse.error(exc.status, exc.message), keep_alive=False
-            )
-            client.close_after_error()
-            return
+            return Fail(exc.status, exc.message)
         if request is None:
             client.close()
-            return
-        started = self.clock.now()
-        response, page_key, request_class = self._process(request)
-        response = head_strip(request, response)
-        keep_alive = request.keep_alive
-        sent = client.send_response(response, keep_alive=keep_alive)
-        if sent:
-            # A 0-byte send means the peer was already gone; counting
-            # it as a completion would inflate throughput.
-            self.stats.record_completion(
-                page_key, request_class, self.clock.now() - started
-            )
-        if keep_alive and not client.closed and self._running:
-            self.reactor.park(client)
-        else:
-            client.close()
-
-    def _process(self, request: HTTPRequest):
-        """The entire request on this one thread: the baseline model."""
+            return DONE
+        job.request = request
+        job.page_key = page_key(request.path)
         if self.app.has_static(request.path):
+            job.request_class = RequestClass.STATIC
             try:
-                return serve_static(self.app, request), request.path, "static"
-            except HTTPError as exc:
-                return error_response(exc), request.path, "static"
-        page_key = request.path
+                return Complete(serve_static(self.app, request))
+            except Exception as exc:
+                return Complete(error_response(exc))
+        # The baseline never refines quick vs. lengthy — it has no
+        # classifier — so dynamic completions record under the
+        # classifier's optimistic default class.
+        job.request_class = RequestClass.QUICK_DYNAMIC
         try:
             generation_started = self.clock.now()
             result = self.app.invoke(request)
             outcome = interpret_result(result)
             self.stats.record_generation_time(
-                page_key, self.clock.now() - generation_started
+                job.page_key, self.clock.now() - generation_started
             )
             if isinstance(outcome, UnrenderedPage):
                 # Baseline renders inline, on the same thread that holds
                 # the database connection.
-                response = render_page(self.app, outcome)
-            else:
-                response = HTTPResponse.html(outcome)
-            return response, page_key, "dynamic"
+                return Complete(render_page(self.app, outcome))
+            return Complete(HTTPResponse.html(outcome))
         except Exception as exc:
-            return error_response(exc), page_key, "dynamic"
+            return Complete(error_response(exc))

@@ -8,6 +8,19 @@ threads generate data with their pinned database connections and pass
 ``(template, data)`` results to Template Rendering, whose threads
 render, set the exact Content-Length, and transmit.
 
+The topology is pure configuration: :class:`StagedServer` is a list of
+:class:`repro.server.pipeline.Stage` declarations over the shared
+:class:`repro.server.pipeline.Pipeline` core, which owns all
+submit/overload/503 plumbing, completion, and shutdown ordering.
+Handlers here only do the paper's routing logic.  That is also what
+makes the ablations configuration rather than code: pass
+``render_inline=True`` for the no-render-pool variant (dynamic threads
+render on their own connection-holding threads, paper §3.2's "why a
+separate rendering stage" counterfactual), and pass a policy built
+with :class:`repro.core.dispatch.AlwaysGeneralDispatcher` or
+:class:`~repro.core.dispatch.StrictSeparationDispatcher` for the
+Table 1 dispatch ablations.
+
 Consequences implemented here, straight from §3.2–3.3:
 
 - For *dynamic* requests the header-parsing thread parses everything —
@@ -26,50 +39,52 @@ Consequences implemented here, straight from §3.2–3.3:
 
 from __future__ import annotations
 
-import dataclasses
 from typing import Optional
 
+from repro.core.classifier import RequestClass, page_key
 from repro.core.dispatch import DynamicPoolChoice
 from repro.core.policy import PolicyConfig, SchedulingPolicy
 from repro.db.pool import ConnectionPool
 from repro.http.errors import HTTPError
-from repro.http.request import HTTPRequest
 from repro.http.response import HTTPResponse
 from repro.server.app import Application
 from repro.server.gateway import (
     UnrenderedPage,
     error_response,
-    head_strip,
     interpret_result,
     render_page,
 )
-from repro.server.netbase import (
-    DEFAULT_SOCKET_TIMEOUT,
-    ClientConnection,
-    Listener,
-    PeriodicTask,
+from repro.server.netbase import DEFAULT_SOCKET_TIMEOUT, PeriodicTask
+from repro.server.pipeline import (
+    DONE,
+    Complete,
+    Fail,
+    PipelineServer,
+    RequestJob,
+    RouteTo,
+    Stage,
+    StageOutcome,
 )
-from repro.server.pools import PoolOverloadedError, ThreadPool
-from repro.server.reactor import ConnectionReactor
+from repro.server.pools import ThreadPool
 from repro.server.static import serve_static
-from repro.server.stats import ServerStats
-from repro.util.clock import Clock, MonotonicClock
+from repro.util.clock import Clock
 
 
-@dataclasses.dataclass
-class RequestJob:
-    """A request travelling through the pools."""
+class StagedServer(PipelineServer):
+    """The paper's multiple-thread-pool web server.
 
-    client: ClientConnection
-    arrival: float
-    request: Optional[HTTPRequest] = None
-    page_key: str = ""
-    request_class: str = "dynamic"
-    unrendered: Optional[UnrenderedPage] = None
+    Parameters beyond the usual network knobs:
 
-
-class StagedServer:
-    """The paper's multiple-thread-pool web server."""
+    policy:
+        The full scheduling policy (classifier + reserve controller +
+        dispatcher).  Dispatch ablations are a policy configuration:
+        ``SchedulingPolicy(config, dispatcher=AlwaysGeneralDispatcher())``.
+    render_inline:
+        Topology ablation — drop the Template Rendering stage and
+        render on the dynamic (connection-holding) threads, like the
+        baseline does.  The stage graph simply has four stages instead
+        of five; no other code changes.
+    """
 
     def __init__(self, app: Application, connection_pool: ConnectionPool,
                  host: str = "127.0.0.1", port: int = 0,
@@ -79,9 +94,8 @@ class StagedServer:
                  max_queue: Optional[int] = None,
                  socket_timeout: float = DEFAULT_SOCKET_TIMEOUT,
                  idle_timeout: Optional[float] = None,
-                 max_connections: Optional[int] = None):
-        self.app = app
-        self.connection_pool = connection_pool
+                 max_connections: Optional[int] = None,
+                 render_inline: bool = False):
         if policy is None:
             # Default policy sized to the connection pool: dynamic
             # threads consume every connection, split 4:1 between the
@@ -105,264 +119,156 @@ class StagedServer:
                 f"pool size ({connection_pool.size}); each dynamic thread "
                 f"pins one connection"
             )
-        self.clock = clock if clock is not None else MonotonicClock()
-        self.stats = ServerStats(self.clock)
+        self.render_inline = render_inline
 
-        # max_queue bounds *all five* stages: backpressure must be
-        # end-to-end, or one unbounded stage absorbs the overload the
-        # bounded ones tried to shed.
-        self.header_pool = ThreadPool("header", config.header_pool_size,
-                                       max_queue=max_queue)
-        self.static_pool = ThreadPool("static", config.static_pool_size,
-                                      max_queue=max_queue)
-        self.general_pool = ThreadPool(
-            "general",
-            config.general_pool_size,
-            worker_init=self._bind_worker_connection,
-            worker_cleanup=self._release_worker_connection,
-            max_queue=max_queue,
+        # Figure 5 as data.  The dynamic stages pin one database
+        # connection per worker for the thread's whole life (§1).
+        stages = [
+            Stage("header", config.header_pool_size, self._parse_header),
+            Stage("static", config.static_pool_size, self._serve_static),
+            Stage("general", config.general_pool_size, self._serve_dynamic,
+                  worker_init=self._bind_worker_connection,
+                  worker_cleanup=self._release_worker_connection),
+            Stage("lengthy", config.lengthy_pool_size, self._serve_dynamic,
+                  worker_init=self._bind_worker_connection,
+                  worker_cleanup=self._release_worker_connection),
+        ]
+        if not render_inline:
+            stages.append(
+                Stage("render", config.render_pool_size, self._render)
+            )
+        super().__init__(
+            app, connection_pool, stages, entry="header",
+            host=host, port=port, clock=clock,
+            queue_sample_interval=queue_sample_interval,
+            max_queue=max_queue, socket_timeout=socket_timeout,
+            idle_timeout=idle_timeout, max_connections=max_connections,
         )
-        self.lengthy_pool = ThreadPool(
-            "lengthy",
-            config.lengthy_pool_size,
-            worker_init=self._bind_worker_connection,
-            worker_cleanup=self._release_worker_connection,
-            max_queue=max_queue,
-        )
-        self.render_pool = ThreadPool("render", config.render_pool_size,
-                                      max_queue=max_queue)
-
-        self.reactor = ConnectionReactor(
-            self._submit_header_parse,
-            idle_timeout=idle_timeout if idle_timeout is not None
-            else socket_timeout,
-            max_connections=max_connections,
-            on_idle_reap=self.stats.record_idle_reap,
-            on_shed=self.stats.record_shed,
-        )
-        self._listener = Listener(host, port, self._on_accept,
-                                  socket_timeout=socket_timeout)
         self._reserve_ticker = PeriodicTask(
             config.reserve_update_interval, self._reserve_tick, name="reserve"
         )
-        self._sampler = PeriodicTask(
-            queue_sample_interval, self._sample_queues, name="queue-sampler"
-        )
-        self._running = False
+        self._periodic_tasks.append(self._reserve_ticker)
 
+    # ------------------------------------------------------------------
+    # Convenience views onto the stage graph (tests, examples, and the
+    # harness read pool gauges through these).
     # ------------------------------------------------------------------
     @property
-    def address(self):
-        return self._listener.address
+    def header_pool(self) -> ThreadPool:
+        return self.pipeline.pool("header")
 
-    def start(self) -> "StagedServer":
-        self.reactor.start()
-        self._listener.start()
-        self._reserve_ticker.start()
-        self._sampler.start()
-        self._running = True
-        return self
+    @property
+    def static_pool(self) -> ThreadPool:
+        return self.pipeline.pool("static")
 
-    def stop(self) -> None:
-        if not self._running:
-            return
-        self._running = False
-        self._listener.stop()
-        self.reactor.stop()
-        self._reserve_ticker.stop()
-        self._sampler.stop()
-        for pool in (self.header_pool, self.static_pool, self.general_pool,
-                     self.lengthy_pool, self.render_pool):
-            pool.shutdown()
+    @property
+    def general_pool(self) -> ThreadPool:
+        return self.pipeline.pool("general")
 
-    def __enter__(self) -> "StagedServer":
-        return self.start()
+    @property
+    def lengthy_pool(self) -> ThreadPool:
+        return self.pipeline.pool("lengthy")
 
-    def __exit__(self, *exc_info) -> None:
-        self.stop()
-
-    def template_cache_stats(self) -> dict:
-        """Render-stage cache observability: the engine's compiled-
-        template cache plus the fragment cache when one is attached."""
-        report = dict(self.app.templates.cache_stats())
-        fragments = self.app.templates.fragment_cache
-        if fragments is not None:
-            report["fragments"] = fragments.stats()
-        return report
+    @property
+    def render_pool(self) -> ThreadPool:
+        return self.pipeline.pool("render")
 
     # ------------------------------------------------------------------
-    def _bind_worker_connection(self) -> None:
-        self.app.bind_connection(self.connection_pool.acquire())
-
-    def _release_worker_connection(self) -> None:
-        try:
-            connection = self.app.getconn()
-        except RuntimeError:  # pragma: no cover - init failed
-            return
-        self.app.bind_connection(None)
-        self.connection_pool.release(connection)
-
     def _reserve_tick(self) -> None:
-        tspare = self.general_pool.spare
+        tspare = self.pipeline.pool("general").spare
         self.policy.tick(tspare)
         self.stats.sample_reserve(tspare, self.policy.treserve)
 
-    def _sample_queues(self) -> None:
-        for pool in (self.header_pool, self.static_pool, self.general_pool,
-                     self.lengthy_pool, self.render_pool):
-            self.stats.sample_queue(pool.name, pool.queue_length)
-        self.stats.sample_parked(self.reactor.parked_count)
-
-    def sampler_errors(self) -> int:
-        """Exceptions swallowed (but counted) by the periodic tasks."""
-        return self._reserve_ticker.errors + self._sampler.errors
-
     # ------------------------------------------------------------------
-    # Stage 1: listener -> reactor
+    # Stage: header parsing + dispatch (Table 1)
     # ------------------------------------------------------------------
-    def _on_accept(self, client: ClientConnection) -> None:
-        # Park even fresh connections: a client that connects and says
-        # nothing must never occupy a header-parsing thread.
-        self.reactor.park(client)
-
-    def _submit_header_parse(self, client: ClientConnection) -> None:
-        """Reactor callback: the connection has readable bytes."""
-        self.header_pool.submit(self._parse_header, client)
-
-    # ------------------------------------------------------------------
-    # Error/backpressure plumbing: every failure path transmits a
-    # response before the socket closes, and every submit() site maps
-    # PoolOverloadedError to a 503 instead of leaking the connection.
-    # ------------------------------------------------------------------
-    def _fail(self, client: ClientConnection, status: int,
-              message: str = "") -> None:
-        client.send_response(HTTPResponse.error(status, message),
-                             keep_alive=False)
-        client.close_after_error()
-
-    def _submit_job(self, pool: ThreadPool, handler, job: RequestJob) -> None:
-        try:
-            pool.submit(handler, job)
-        except PoolOverloadedError:
-            self._fail(job.client, 503)
-        except RuntimeError:
-            # Pool shut down mid-flight; nothing useful to send.
-            job.client.close()
-
-    # ------------------------------------------------------------------
-    # Stage 2: header parsing + dispatch (Table 1)
-    # ------------------------------------------------------------------
-    def _parse_header(self, client: ClientConnection) -> None:
-        job = RequestJob(client=client, arrival=self.clock.now())
+    def _parse_header(self, job: RequestJob) -> StageOutcome:
+        client = job.client
         try:
             request_line = client.read_request_line()
         except HTTPError as exc:
-            self._fail(client, exc.status, exc.message)
-            return
+            return Fail(exc.status, exc.message)
         if request_line is None:
             client.close()
-            return
+            return DONE
         # The request line alone decides static vs. dynamic (§3.2).
         # maxsplit keeps multi/leading-space lines from mis-targeting;
         # the strict parser in finish_request stays authoritative.
         parts = request_line.split(maxsplit=2)
         if len(parts) != 3:
-            self._fail(client, 400, f"malformed request line: {request_line!r}")
-            return
-        path = parts[1].split("?", 1)[0]
+            return Fail(400, f"malformed request line: {request_line!r}")
+        path = parts[1]
 
         if self.policy.classifier.is_static(path):
             # Static threads parse their own headers.
-            job.page_key = path
-            job.request_class = "static"
-            self._submit_job(self.static_pool, self._serve_static, job)
-            return
+            job.page_key = page_key(path)
+            job.request_class = RequestClass.STATIC
+            return RouteTo("static")
 
         # Dynamic: this thread parses the rest of the header data and
         # the query string so connection-holding threads never do.
         try:
             job.request = client.finish_request()
         except HTTPError as exc:
-            self._fail(client, exc.status, exc.message)
-            return
-        job.page_key = job.request.path
-        choice = self.policy.route(job.request.path, tspare=self.general_pool.spare)
+            return Fail(exc.status, exc.message)
+        job.page_key = page_key(job.request.path)
+        job.request_class = self.policy.classify(job.request.path)
+        choice = self.policy.dispatcher.choose_pool(
+            job.request_class,
+            tspare=self.pipeline.pool("general").spare,
+            treserve=self.policy.treserve,
+        )
         if choice is DynamicPoolChoice.GENERAL:
-            job.request_class = "dynamic"
-            self._submit_job(self.general_pool, self._serve_dynamic, job)
-        else:
-            job.request_class = "lengthy"
-            self._submit_job(self.lengthy_pool, self._serve_dynamic, job)
+            return RouteTo("general")
+        return RouteTo("lengthy")
 
     # ------------------------------------------------------------------
-    # Stage 3a: static requests
+    # Stage: static requests
     # ------------------------------------------------------------------
-    def _serve_static(self, job: RequestJob) -> None:
+    def _serve_static(self, job: RequestJob) -> StageOutcome:
         try:
             job.request = job.client.finish_request()
         except HTTPError as exc:
-            self._fail(job.client, exc.status, exc.message)
-            return
+            return Fail(exc.status, exc.message)
         try:
-            response = serve_static(self.app, job.request)
+            return Complete(serve_static(self.app, job.request))
         except Exception as exc:
-            response = error_response(exc)
-        self._complete(job, response)
+            return Complete(error_response(exc))
 
     # ------------------------------------------------------------------
-    # Stage 3b: dynamic requests (data generation)
+    # Stage: dynamic requests (data generation)
     # ------------------------------------------------------------------
-    def _serve_dynamic(self, job: RequestJob) -> None:
+    def _serve_dynamic(self, job: RequestJob) -> StageOutcome:
         assert job.request is not None
         generation_started = self.clock.now()
         try:
             result = self.app.invoke(job.request)
         except Exception as exc:
-            self._complete(job, error_response(exc))
-            return
+            return Complete(error_response(exc))
         outcome = interpret_result(result)
+        # Measure up to the moment the unrendered template would be
+        # placed in the rendering queue (§3.3) and feed it back.
+        generation_seconds = self.clock.now() - generation_started
+        self.policy.record_generation_time(job.page_key, generation_seconds)
+        self.stats.record_generation_time(job.page_key, generation_seconds)
         if isinstance(outcome, UnrenderedPage):
             job.unrendered = outcome
-            # Measure up to the moment the unrendered template is
-            # placed in the rendering queue (§3.3) and feed it back.
-            generation_seconds = self.clock.now() - generation_started
-            self.policy.record_generation_time(job.page_key, generation_seconds)
-            self.stats.record_generation_time(job.page_key, generation_seconds)
-            self._submit_job(self.render_pool, self._render, job)
-        else:
-            # Backward compatibility: a pre-rendered string is sent by
-            # this thread directly (§3.2).
-            generation_seconds = self.clock.now() - generation_started
-            self.policy.record_generation_time(job.page_key, generation_seconds)
-            self.stats.record_generation_time(job.page_key, generation_seconds)
-            self._complete(job, HTTPResponse.html(outcome))
+            if self.render_inline:
+                # Topology ablation: no render stage — this connection-
+                # holding thread renders, exactly what §3.2 argues
+                # against.  Measured, not asserted.
+                return Complete(render_page(self.app, outcome))
+            return RouteTo("render")
+        # Backward compatibility: a pre-rendered string is sent by
+        # this thread directly (§3.2).
+        return Complete(HTTPResponse.html(outcome))
 
     # ------------------------------------------------------------------
-    # Stage 4: template rendering
+    # Stage: template rendering
     # ------------------------------------------------------------------
-    def _render(self, job: RequestJob) -> None:
+    def _render(self, job: RequestJob) -> StageOutcome:
         assert job.unrendered is not None
         try:
-            response = render_page(self.app, job.unrendered)
+            return Complete(render_page(self.app, job.unrendered))
         except Exception as exc:
-            response = error_response(exc)
-        self._complete(job, response)
-
-    # ------------------------------------------------------------------
-    def _complete(self, job: RequestJob, response: HTTPResponse) -> None:
-        """Transmit and either park (keep-alive) or close."""
-        response = head_strip(job.request, response)
-        keep_alive = job.request.keep_alive if job.request is not None else False
-        sent = job.client.send_response(response, keep_alive=keep_alive)
-        if sent:
-            # A 0-byte send means the peer was already gone; counting
-            # it as a completion would inflate throughput.
-            self.stats.record_completion(
-                job.page_key, job.request_class, self.clock.now() - job.arrival
-            )
-        if keep_alive and not job.client.closed and self._running:
-            # Back to the reactor, not the header pool: the connection
-            # may stay idle for seconds and must not block a thread.
-            self.reactor.park(job.client)
-        else:
-            job.client.close()
+            return Complete(error_response(exc))

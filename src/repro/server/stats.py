@@ -3,16 +3,36 @@
 Feeds the experiment harness with exactly what the paper reports:
 per-page completion counts (Table 4), per-page response-time averages
 (Table 3 is measured client-side; the server keeps its own view), and
-queue-length time series for each pool (Figures 7–8).
+queue-length time series for each pool (Figures 7–8) — plus, beyond
+the paper, per-stage queue-wait/service-time breakdowns with
+percentiles, so the Figure 7/8 queue story is measurable per request
+(where did a request's latency go: header vs. general vs. render?).
+
+Request classes are the :class:`repro.core.classifier.RequestClass`
+enum end-to-end.  Per-class completion series keep the labels the
+simulator and the figure-10 exports have always used: ``static``,
+``dynamic`` (all dynamic requests), and the refined ``quick`` /
+``lengthy`` — a dynamic completion is recorded under both ``dynamic``
+and its refined label, mirroring :mod:`repro.sim.results`.
 """
 
 from __future__ import annotations
 
 import threading
-from typing import Dict, Optional
+from typing import Dict, Optional, Union
 
+from repro.core.classifier import RequestClass
 from repro.util.clock import Clock, MonotonicClock
-from repro.util.timeseries import TimeSeries, WelfordAccumulator
+from repro.util.timeseries import SummaryAccumulator, TimeSeries, WelfordAccumulator
+
+#: Per-class event-series labels for each request class.  Dynamic
+#: classes record under "dynamic" *and* their refined label, exactly as
+#: the simulator records each dynamic completion twice (Figure 10 b–d).
+CLASS_SERIES_LABELS: Dict[RequestClass, tuple] = {
+    RequestClass.STATIC: ("static",),
+    RequestClass.QUICK_DYNAMIC: ("dynamic", "quick"),
+    RequestClass.LENGTHY_DYNAMIC: ("dynamic", "lengthy"),
+}
 
 
 class ServerStats:
@@ -23,8 +43,10 @@ class ServerStats:
         self.started_at = self.clock.now()
         self._lock = threading.Lock()
         self._completions: Dict[str, int] = {}
-        self._response_times: Dict[str, WelfordAccumulator] = {}
+        self._response_times: Dict[str, SummaryAccumulator] = {}
         self._generation_times: Dict[str, WelfordAccumulator] = {}
+        self._stage_queue_waits: Dict[str, SummaryAccumulator] = {}
+        self._stage_services: Dict[str, SummaryAccumulator] = {}
         self._completion_events = TimeSeries("completions")
         self._class_events: Dict[str, TimeSeries] = {}
         self.queue_series: Dict[str, TimeSeries] = {}
@@ -36,13 +58,22 @@ class ServerStats:
             "sheds": 0,
         }
 
+    @staticmethod
+    def _class_labels(request_class: Union[RequestClass, str]) -> tuple:
+        """Series labels for a request class; plain strings (legacy
+        callers, tests) map to a single series of that name."""
+        if isinstance(request_class, RequestClass):
+            return CLASS_SERIES_LABELS[request_class]
+        return (str(request_class),)
+
     # ------------------------------------------------------------------
     # Every recording method computes its timestamp *inside* the lock:
     # TimeSeries.append rejects out-of-order samples, so two threads
     # that read the clock and then raced to append could otherwise
     # blow up (and Welford updates outside the lock corrupted state).
     # ------------------------------------------------------------------
-    def record_completion(self, page: str, request_class: str,
+    def record_completion(self, page: str,
+                          request_class: Union[RequestClass, str],
                           response_seconds: float) -> None:
         """One finished web interaction."""
         with self._lock:
@@ -50,15 +81,16 @@ class ServerStats:
             self._completions[page] = self._completions.get(page, 0) + 1
             accumulator = self._response_times.get(page)
             if accumulator is None:
-                accumulator = WelfordAccumulator(page)
+                accumulator = SummaryAccumulator(page)
                 self._response_times[page] = accumulator
             accumulator.add(response_seconds)
             self._completion_events.append(now, 1.0)
-            series = self._class_events.get(request_class)
-            if series is None:
-                series = TimeSeries(f"completions/{request_class}")
-                self._class_events[request_class] = series
-            series.append(now, 1.0)
+            for label in self._class_labels(request_class):
+                series = self._class_events.get(label)
+                if series is None:
+                    series = TimeSeries(f"completions/{label}")
+                    self._class_events[label] = series
+                series.append(now, 1.0)
 
     def record_generation_time(self, page: str, seconds: float) -> None:
         """Data-generation time for a dynamic page (server-side view)."""
@@ -68,6 +100,27 @@ class ServerStats:
                 accumulator = WelfordAccumulator(page)
                 self._generation_times[page] = accumulator
             accumulator.add(seconds)
+
+    def record_stage_timing(self, stage: str, queue_wait: float,
+                            service: float) -> None:
+        """One pipeline hop: time queued at ``stage`` plus service time.
+
+        Fed by the stage pipeline on every hop, so each request's
+        latency decomposes into per-stage waits — the queue dynamics of
+        the paper's Figures 7–8, measured per request instead of
+        sampled once a second.
+        """
+        with self._lock:
+            waits = self._stage_queue_waits.get(stage)
+            if waits is None:
+                waits = SummaryAccumulator(f"{stage}/queue-wait")
+                self._stage_queue_waits[stage] = waits
+            services = self._stage_services.get(stage)
+            if services is None:
+                services = SummaryAccumulator(f"{stage}/service")
+                self._stage_services[stage] = services
+            waits.add(queue_wait)
+            services.add(service)
 
     def sample_queue(self, pool_name: str, length: int) -> None:
         with self._lock:
@@ -127,6 +180,15 @@ class ServerStats:
             page: acc.mean for page, acc in accumulators.items() if acc.count
         }
 
+    def response_time_summary(self) -> Dict[str, Dict[str, float]]:
+        """Per-page response-time summaries: count/mean/p50/p95/p99/max."""
+        with self._lock:
+            accumulators = dict(self._response_times)
+        return {
+            page: acc.summary()
+            for page, acc in accumulators.items() if acc.count
+        }
+
     def mean_generation_times(self) -> Dict[str, float]:
         with self._lock:
             accumulators = dict(self._generation_times)
@@ -134,15 +196,42 @@ class ServerStats:
             page: acc.mean for page, acc in accumulators.items() if acc.count
         }
 
+    def stage_timing_summary(self) -> Dict[str, Dict[str, Dict[str, float]]]:
+        """Per-stage queue-wait and service-time percentile summaries.
+
+        ``{stage: {"queue_wait": {count, mean, p50, p95, p99, max},
+        "service": {...}}}`` — the per-request answer to "where did the
+        latency go" (header vs. general vs. render).
+        """
+        with self._lock:
+            waits = dict(self._stage_queue_waits)
+            services = dict(self._stage_services)
+        return {
+            stage: {
+                "queue_wait": waits[stage].summary(),
+                "service": services[stage].summary(),
+            }
+            for stage in waits
+        }
+
     def throughput_series(self, bucket_seconds: float = 60.0) -> TimeSeries:
         """Completions per bucket over the run (paper's Figure 9 shape)."""
         return self._completion_events.bucketize(bucket_seconds)
 
-    def class_throughput_series(self, request_class: str,
+    def class_throughput_series(self, request_class: Union[RequestClass, str],
                                 bucket_seconds: float = 60.0) -> TimeSeries:
-        """Per-class completions per bucket (Figure 10)."""
+        """Per-class completions per bucket (Figure 10).
+
+        Accepts either a series label (``"static"``, ``"dynamic"``,
+        ``"quick"``, ``"lengthy"``) or a :class:`RequestClass`, which
+        resolves to its refined label.
+        """
+        if isinstance(request_class, RequestClass):
+            label = self._class_labels(request_class)[-1]
+        else:
+            label = request_class
         with self._lock:
-            series = self._class_events.get(request_class)
+            series = self._class_events.get(label)
         if series is None:
-            return TimeSeries(f"completions/{request_class}")
+            return TimeSeries(f"completions/{label}")
         return series.bucketize(bucket_seconds)

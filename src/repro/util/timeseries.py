@@ -173,6 +173,74 @@ class WelfordAccumulator:
             return self._max
 
 
+class SummaryAccumulator(WelfordAccumulator):
+    """Welford statistics plus exact-ish percentiles.
+
+    Retains raw samples for nearest-rank percentiles.  Memory stays
+    bounded: past ``max_samples`` the retained set is decimated (every
+    other sample dropped) and the retention stride doubles, so a
+    long-running server keeps an evenly spaced subsample while
+    ``count``/``mean``/``variance`` remain exact.  Decimation is
+    deterministic — no RNG — so runs stay bit-reproducible.
+    """
+
+    def __init__(self, name: str = "", max_samples: int = 65536):
+        super().__init__(name)
+        if max_samples < 2:
+            raise ValueError(f"max_samples must be >= 2, got {max_samples}")
+        self._max_samples = max_samples
+        self._samples: List[float] = []
+        self._stride = 1
+        self._since_kept = 0
+
+    def add(self, x: float) -> None:
+        super().add(x)
+        # A second lock round-trip: WelfordAccumulator.add releases the
+        # lock before we retain the sample.  A reader between the two
+        # sees a count one ahead of the sample list — harmless.
+        with self._lock:
+            self._since_kept += 1
+            if self._since_kept >= self._stride:
+                self._since_kept = 0
+                self._samples.append(float(x))
+                if len(self._samples) > self._max_samples:
+                    self._samples = self._samples[::2]
+                    self._stride *= 2
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank p-th percentile over the retained samples."""
+        if not 0 <= p <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        with self._lock:
+            if not self._samples:
+                raise ValueError(f"accumulator {self.name!r} is empty")
+            ordered = sorted(self._samples)
+        rank = max(1, math.ceil(p / 100.0 * len(ordered)))
+        return ordered[rank - 1]
+
+    def summary(self) -> Dict[str, float]:
+        """count/mean/p50/p95/p99/max as one JSON-friendly dict."""
+        with self._lock:
+            if not self._samples:
+                return {"count": 0}
+            ordered = sorted(self._samples)
+            count = self._n
+            mean = self._mean
+            maximum = self._max
+
+        def rank(p: float) -> float:
+            return ordered[max(1, math.ceil(p / 100.0 * len(ordered))) - 1]
+
+        return {
+            "count": count,
+            "mean": mean,
+            "p50": rank(50),
+            "p95": rank(95),
+            "p99": rank(99),
+            "max": maximum,
+        }
+
+
 class Histogram:
     """Fixed-bucket histogram with overflow bucket, plus exact percentiles.
 

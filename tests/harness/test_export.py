@@ -85,3 +85,42 @@ class TestExportFigures:
         # One row per 1 Hz sample over the whole run.
         assert len(data_lines) > 100
         assert all(len(line.split()) == 3 for line in data_lines)
+
+
+class TestServerStatsDocument:
+    def _stats(self):
+        from repro.core.classifier import RequestClass
+        from repro.server.stats import ServerStats
+        from repro.util.clock import ManualClock
+
+        stats = ServerStats(ManualClock())
+        stats.record_completion("/page", RequestClass.LENGTHY_DYNAMIC, 2.5)
+        stats.record_stage_timing("header", 0.01, 0.002)
+        stats.record_stage_timing("lengthy", 0.5, 2.0)
+        stats.sample_queue("lengthy", 3)
+        stats.record_generation_time("/page", 2.0)
+        return stats
+
+    def test_document_structure(self):
+        from repro.harness.export import server_stats_document
+
+        document = server_stats_document(self._stats())
+        assert document["completions"] == {"/page": 1}
+        assert document["total_completions"] == 1
+        assert document["response_times"]["/page"]["p99"] == 2.5
+        assert set(document["stage_timings"]) == {"header", "lengthy"}
+        breakdown = document["stage_timings"]["lengthy"]
+        assert breakdown["queue_wait"]["p50"] == 0.5
+        assert breakdown["service"]["max"] == 2.0
+        assert document["queue_series"]["lengthy"] == [[0.0, 3.0]]
+        assert document["connection_gauges"]["parked"] == 0
+
+    def test_export_round_trips_through_json(self, tmp_path):
+        from repro.harness.export import export_server_stats_json
+
+        path = export_server_stats_json(
+            self._stats(), str(tmp_path / "server_stats.json")
+        )
+        with open(path, encoding="utf-8") as f:
+            loaded = json.load(f)
+        assert loaded["stage_timings"]["header"]["service"]["count"] == 1

@@ -54,3 +54,53 @@ class TestFormatTable3WithoutPaper:
         text = format_table3(rows, include_paper=False)
         assert "paper" not in text
         assert "2.00" in text and "0.10" in text
+
+
+class TestStageBreakdown:
+    def _stats(self):
+        from repro.core.classifier import RequestClass
+        from repro.server.stats import ServerStats
+        from repro.util.clock import ManualClock
+
+        stats = ServerStats(ManualClock())
+        for i in range(1, 21):
+            stats.record_stage_timing("header", i / 1000.0, 0.001)
+            stats.record_stage_timing("general", i / 100.0, 0.05)
+            stats.record_completion("/page", RequestClass.QUICK_DYNAMIC,
+                                    i / 10.0)
+        return stats
+
+    def test_stage_rows_with_percentiles(self):
+        from repro.harness.report import format_stage_breakdown
+
+        text = format_stage_breakdown(self._stats())
+        assert "general (queued)" in text
+        assert "header (service)" in text
+        assert "p95" in text and "p99" in text
+        # 20 samples of i/100: p50 is the 10th => 0.10
+        assert "0.1000" in text
+
+    def test_empty_stats(self):
+        from repro.harness.report import format_stage_breakdown
+        from repro.server.stats import ServerStats
+        from repro.util.clock import ManualClock
+
+        text = format_stage_breakdown(ServerStats(ManualClock()))
+        assert "no stage timings" in text
+
+    def test_page_percentiles(self):
+        from repro.harness.report import format_page_percentiles
+
+        text = format_page_percentiles(self._stats())
+        assert "/page" in text
+        assert "p99" in text
+        # 20 samples of i/10: p50 is the 10th => 1.0, max 2.0
+        assert "1.0000" in text and "2.0000" in text
+
+    def test_page_percentiles_empty(self):
+        from repro.harness.report import format_page_percentiles
+        from repro.server.stats import ServerStats
+        from repro.util.clock import ManualClock
+
+        text = format_page_percentiles(ServerStats(ManualClock()))
+        assert "no completions" in text

@@ -184,6 +184,28 @@ class TestStagedSpecifics:
         finally:
             server.stop()
 
+    def test_render_inline_topology_serves_pages(self):
+        """The no-render-pool ablation is a four-stage graph config,
+        not a subclass: dynamic threads render on their own."""
+        app, database = build_app()
+        server = StagedServer(
+            app, ConnectionPool(database, 8), policy=small_staged_policy(),
+            render_inline=True,
+        ).start()
+        try:
+            host, port = server.address
+            response = http_request(host, port, "/page?pageid=1")
+            assert response.status == 200
+            assert response.body == b"<title>One</title>"
+            assert server.pipeline.stage_names() == [
+                "header", "static", "general", "lengthy"
+            ]
+            summary = server.stats.stage_timing_summary()
+            assert "render" not in summary
+            assert summary["general"]["service"]["count"] == 1
+        finally:
+            server.stop()
+
     def test_keep_alive_two_requests_one_connection(self):
         import socket
 
@@ -205,6 +227,74 @@ class TestStagedSpecifics:
             assert b"pre-rendered" in second
         finally:
             server.stop()
+
+
+class TestHeadRequestsBothServers:
+    """HEAD handling (head_strip) through the pipeline completion path."""
+
+    def test_head_static_no_body(self, server):
+        host, port = server.address
+        response = http_request(host, port, "/img/x.gif", method="HEAD")
+        assert response.status == 200
+        assert response.body == b""
+        assert response.headers["content-length"] == str(len(b"GIF89a-data"))
+
+    def test_head_keep_alive_reparks_then_get(self):
+        """A HEAD response must re-park the connection like any other
+        keep-alive completion: a follow-up GET on the same socket works
+        and gets a full body."""
+        import socket
+
+        app, database = build_app()
+        for factory in (
+            lambda: BaselineServer(app, ConnectionPool(database, 4)),
+            lambda: StagedServer(app, ConnectionPool(database, 8),
+                                 policy=small_staged_policy()),
+        ):
+            server = factory().start()
+            try:
+                host, port = server.address
+                with socket.create_connection((host, port), timeout=5) as sock:
+                    sock.sendall(b"HEAD /legacy HTTP/1.1\r\nHost: x\r\n\r\n")
+                    # HEAD advertises Content-Length but sends no body:
+                    # read just the header block.
+                    head = b""
+                    while b"\r\n\r\n" not in head:
+                        head += sock.recv(65536)
+                    assert b"200" in head.split(b"\r\n", 1)[0]
+                    assert b"Content-Length: 25" in head
+                    assert b"pre-rendered" not in head  # body stripped
+                    sock.sendall(b"GET /legacy HTTP/1.1\r\nHost: x\r\n\r\n")
+                    full = _read_one_response(sock)
+                    assert b"pre-rendered" in full
+            finally:
+                server.stop()
+
+
+class TestStageTimingsBothServers:
+    def test_lifecycle_timings_recorded_per_stage(self, server):
+        host, port = server.address
+        http_request(host, port, "/page?pageid=1")
+        http_request(host, port, "/img/x.gif")
+        summary = server.stats.stage_timing_summary()
+        if isinstance(server, StagedServer):
+            # Dynamic: header -> general -> render; static: header -> static.
+            assert {"header", "static", "general", "render"} <= set(summary)
+            assert summary["header"]["service"]["count"] >= 2
+            assert summary["render"]["queue_wait"]["count"] >= 1
+        else:
+            assert set(summary) == {"worker"}
+            assert summary["worker"]["service"]["count"] >= 2
+        for timings in summary.values():
+            for kind in ("queue_wait", "service"):
+                if timings[kind]["count"]:
+                    assert timings[kind]["p95"] >= 0
+
+    def test_query_variants_share_one_page_key(self, server):
+        host, port = server.address
+        http_request(host, port, "/page?pageid=1")
+        http_request(host, port, "/page?pageid=2")
+        assert server.stats.completions().get("/page") == 2
 
 
 class TestKeepAliveBothServers:

@@ -6,7 +6,12 @@ import threading
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.util.timeseries import Histogram, TimeSeries, WelfordAccumulator
+from repro.util.timeseries import (
+    Histogram,
+    SummaryAccumulator,
+    TimeSeries,
+    WelfordAccumulator,
+)
 
 
 class TestTimeSeries:
@@ -146,6 +151,74 @@ class TestWelfordAccumulator:
         acc.extend(values)
         assert acc.mean == pytest.approx(sum(values) / len(values), rel=1e-9,
                                          abs=1e-6)
+
+
+class TestSummaryAccumulator:
+    def test_percentiles_exact_below_cap(self):
+        acc = SummaryAccumulator()
+        acc.extend(float(i) for i in range(1, 101))
+        assert acc.percentile(50) == 50.0
+        assert acc.percentile(95) == 95.0
+        assert acc.percentile(99) == 99.0
+        assert acc.percentile(100) == 100.0
+
+    def test_summary_dict_shape(self):
+        acc = SummaryAccumulator()
+        acc.extend([1.0, 2.0, 3.0, 4.0])
+        summary = acc.summary()
+        assert summary == {
+            "count": 4, "mean": pytest.approx(2.5),
+            "p50": 2.0, "p95": 4.0, "p99": 4.0, "max": 4.0,
+        }
+
+    def test_empty_summary_and_percentile(self):
+        acc = SummaryAccumulator("x")
+        assert acc.summary() == {"count": 0}
+        with pytest.raises(ValueError):
+            acc.percentile(50)
+
+    def test_percentile_out_of_range_rejected(self):
+        acc = SummaryAccumulator()
+        acc.add(1.0)
+        with pytest.raises(ValueError):
+            acc.percentile(101)
+
+    def test_welford_stats_stay_exact_past_cap(self):
+        acc = SummaryAccumulator(max_samples=16)
+        n = 1000
+        acc.extend(float(i) for i in range(n))
+        assert acc.count == n  # exact, not decimated
+        assert acc.mean == pytest.approx((n - 1) / 2)
+        assert acc.summary()["max"] == float(n - 1)
+
+    def test_decimation_bounds_memory_and_keeps_spread(self):
+        acc = SummaryAccumulator(max_samples=64)
+        acc.extend(float(i) for i in range(10_000))
+        assert len(acc._samples) <= 64
+        # The retained subsample stays evenly spread: percentiles are
+        # approximate but must stay in the right neighbourhood.
+        assert acc.percentile(50) == pytest.approx(5000, rel=0.15)
+        assert acc.percentile(95) == pytest.approx(9500, rel=0.15)
+
+    def test_decimation_is_deterministic(self):
+        def run():
+            acc = SummaryAccumulator(max_samples=32)
+            acc.extend(float(i % 97) for i in range(5000))
+            return acc.summary()
+
+        assert run() == run()
+
+    def test_max_samples_validation(self):
+        with pytest.raises(ValueError):
+            SummaryAccumulator(max_samples=1)
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6,
+                              allow_nan=False), min_size=1, max_size=200))
+    def test_p100_is_max_and_p0_is_min_below_cap(self, values):
+        acc = SummaryAccumulator()
+        acc.extend(values)
+        assert acc.percentile(100) == max(values)
+        assert acc.percentile(0) == min(values)
 
 
 class TestHistogram:

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Lint: ThreadPool.submit() may only be called from server/pipeline.py.
+
+The stage pipeline owns all submit/overload/503 plumbing: an internal
+hop whose bounded queue is full must become a 503 to the client, and a
+hop into a shut-down pool a clean close.  A direct ``.submit(`` call
+anywhere else in the server tree bypasses that and reintroduces the
+copy-pasted error paths this refactor removed — so CI greps for stray
+call sites and fails on any.
+
+Usage: python tools/check_submit_sites.py [src-root]
+Exit status 0 if clean, 1 with a listing of offending lines otherwise.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import sys
+
+#: Files allowed to call ThreadPool.submit directly.
+ALLOWED = {
+    os.path.join("repro", "server", "pipeline.py"),
+}
+
+#: A .submit( call site.  Comments are stripped line-wise first, so
+#: prose mentioning the rule (like pipeline.py's own docstring) only
+#: matters when it is a docstring — those we allow-list via ALLOWED.
+SUBMIT_CALL = re.compile(r"\.submit\s*\(")
+
+
+def find_violations(src_root: str):
+    violations = []
+    for dirpath, _dirnames, filenames in os.walk(src_root):
+        for filename in filenames:
+            if not filename.endswith(".py"):
+                continue
+            path = os.path.join(dirpath, filename)
+            relative = os.path.relpath(path, src_root)
+            if relative in ALLOWED:
+                continue
+            with open(path, encoding="utf-8") as f:
+                for lineno, line in enumerate(f, start=1):
+                    code = line.split("#", 1)[0]
+                    if SUBMIT_CALL.search(code):
+                        violations.append(
+                            (relative, lineno, line.rstrip("\n"))
+                        )
+    return violations
+
+
+def main(argv) -> int:
+    src_root = argv[1] if len(argv) > 1 else os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"
+    )
+    violations = find_violations(src_root)
+    if violations:
+        print("direct ThreadPool.submit call sites outside "
+              "server/pipeline.py (route through Pipeline.submit):")
+        for relative, lineno, line in violations:
+            print(f"  {relative}:{lineno}: {line.strip()}")
+        return 1
+    print("submit-site check: clean "
+          "(all pool submits live in server/pipeline.py)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
