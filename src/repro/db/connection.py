@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import threading
 import time
-from typing import Any, Iterator, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.db.engine import Database
 from repro.db.errors import ProgrammingError
@@ -122,7 +122,8 @@ class Connection:
     _next_id = 1
     _id_lock = threading.Lock()
 
-    def __init__(self, database: Database, on_close=None):
+    def __init__(self, database: Database, on_close=None,
+                 clock: Callable[[], float] = time.monotonic):
         with Connection._id_lock:
             self.connection_id = Connection._next_id
             Connection._next_id += 1
@@ -130,12 +131,13 @@ class Connection:
         self._closed = False
         self._busy = threading.Lock()
         self._on_close = on_close
+        self._clock = clock
         self.statements_executed = 0
         #: Wall-clock seconds spent actually executing statements — the
         #: numerator of the utilisation the paper's scheme improves
         #: (the denominator being how long the connection is held).
         self.busy_seconds = 0.0
-        self.created_at = time.monotonic()
+        self.created_at = clock()
 
     def cursor(self) -> Cursor:
         self._check_open()
@@ -187,17 +189,17 @@ class Connection:
         with self._busy:
             self.statements_executed += 1
             statement = self._database.prepare(sql)
-            started = time.monotonic()
+            started = self._clock()
             try:
                 return self._database.execute_statement(
                     statement, params, connection_id=self.connection_id
                 )
             finally:
-                self.busy_seconds += time.monotonic() - started
+                self.busy_seconds += self._clock() - started
 
     def utilization(self) -> float:
         """Fraction of this connection's lifetime spent executing."""
-        lifetime = time.monotonic() - self.created_at
+        lifetime = self._clock() - self.created_at
         if lifetime <= 0:
             return 0.0
         return min(1.0, self.busy_seconds / lifetime)

@@ -46,5 +46,12 @@ class PoolClosedError(DatabaseError):
     """The connection pool has been shut down."""
 
 
+class PoolReleaseError(DatabaseError):
+    """A connection was released twice, or was never issued by the pool.
+
+    Either mistake used to corrupt the idle deque / in-use count
+    silently; the pool now refuses the release outright."""
+
+
 class ProgrammingError(DatabaseError):
     """API misuse: wrong parameter count, fetch before execute, ..."""

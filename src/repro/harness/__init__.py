@@ -10,6 +10,7 @@ Run ``python -m repro.harness`` for the complete reproduction.
 
 from repro.harness.experiments import ExperimentRunner, Table2Result
 from repro.harness.report import (
+    format_connection_utilization,
     format_figure7,
     format_figure8,
     format_figure9,
@@ -23,6 +24,7 @@ from repro.harness.report import (
 __all__ = [
     "ExperimentRunner",
     "Table2Result",
+    "format_connection_utilization",
     "format_figure7",
     "format_figure8",
     "format_figure9",

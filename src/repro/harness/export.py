@@ -102,11 +102,13 @@ def server_stats_document(stats) -> Dict:
     """A live server's ``ServerStats`` as one JSON-serialisable document.
 
     Includes the per-stage queue-wait/service-time breakdown (with
-    p50/p95/p99) the stage pipeline records on every hop, and per-page
-    response-time percentile summaries — the labels are the same ones
-    the simulator exports (``static``/``dynamic``/``quick``/``lengthy``
-    for classes, stage names for pools), so downstream tooling can
-    compare live runs against simulated ones.
+    p50/p95/p99) the stage pipeline records on every hop, per-page
+    response-time percentile summaries, and the per-stage connection
+    busy fraction (held vs. query-busy seconds per lease strategy, the
+    paper's headline resource-efficiency metric) — the labels are the
+    same ones the simulator exports (``static``/``dynamic``/``quick``/
+    ``lengthy`` for classes, stage names for pools), so downstream
+    tooling can compare live runs against simulated ones.
     """
     return {
         "completions": stats.completions(),
@@ -119,6 +121,7 @@ def server_stats_document(stats) -> Dict:
             for name, series in stats.queue_series.items()
         },
         "connection_gauges": stats.connection_gauges(),
+        "connection_utilization": stats.connection_utilization(),
     }
 
 

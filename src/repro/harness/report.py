@@ -196,6 +196,38 @@ def format_stage_breakdown(stats) -> str:
     return "\n".join(lines)
 
 
+def format_connection_utilization(stats) -> str:
+    """Per-stage connection busy fraction from ``ServerStats``.
+
+    One row per connection-holding stage: lease strategy, lease count,
+    held vs. query-busy seconds, the busy fraction (the paper's
+    headline resource-efficiency metric — held-but-idle connections are
+    the waste the staged design removes), and the p95 acquire wait.
+    Pinned leases return at worker shutdown, so render this after
+    ``server.stop()`` for complete held-time accounting.
+    """
+    utilization = stats.connection_utilization()
+    lines = [
+        "Connection utilization per stage (busy fraction = "
+        "query-busy / held)",
+        f"{'stage':<12s} {'strategy':<12s} {'leases':>7s} {'held(s)':>9s} "
+        f"{'busy(s)':>9s} {'busy%':>7s} {'wait p95':>9s}",
+    ]
+    if not utilization:
+        lines.append("(no connection leases recorded)")
+        return "\n".join(lines)
+    for stage in sorted(utilization):
+        entry = utilization[stage]
+        wait = entry["acquire_wait"]
+        wait_p95 = f"{wait['p95']:>9.4f}" if wait.get("count") else f"{'-':>9s}"
+        lines.append(
+            f"{stage:<12s} {entry['strategy']:<12s} {entry['leases']:>7d} "
+            f"{entry['held_seconds']:>9.3f} {entry['busy_seconds']:>9.3f} "
+            f"{entry['busy_fraction'] * 100:>6.1f}% {wait_p95}"
+        )
+    return "\n".join(lines)
+
+
 def format_page_percentiles(stats) -> str:
     """Per-page response-time percentile summary from ``ServerStats``."""
     summaries = stats.response_time_summary()

@@ -35,6 +35,12 @@ from repro.server.pipeline import (
 )
 from repro.server.pools import ThreadPool
 from repro.server.reactor import ConnectionReactor
+from repro.server.resources import (
+    DatabaseResource,
+    Lease,
+    LeaseManager,
+    LeaseStrategy,
+)
 from repro.server.staged import StagedServer
 from repro.server.stats import ServerStats
 
@@ -44,8 +50,12 @@ __all__ = [
     "BaselineServer",
     "Complete",
     "ConnectionReactor",
+    "DatabaseResource",
     "DONE",
     "Fail",
+    "Lease",
+    "LeaseManager",
+    "LeaseStrategy",
     "Pipeline",
     "PipelineServer",
     "RequestJob",

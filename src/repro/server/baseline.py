@@ -43,6 +43,7 @@ from repro.server.pipeline import (
     StageOutcome,
 )
 from repro.server.pools import ThreadPool
+from repro.server.resources import DatabaseResource, LeaseStrategy
 from repro.server.static import serve_static
 from repro.util.clock import Clock
 
@@ -61,6 +62,13 @@ class BaselineServer(PipelineServer):
         Worker thread count; defaults to the connection pool size (the
         paper: "the number of threads cannot exceed the number of
         connections").
+    lease_strategy:
+        How workers own their database connection.
+        :data:`LeaseStrategy.PINNED` (the default) is the documented
+        trend the paper baselines against — every worker pins one
+        connection for life, so it idles through parsing, statics, and
+        rendering; the leased strategies are the conventional pooling
+        alternatives measured by ablation A7.
     """
 
     def __init__(self, app: Application, connection_pool: ConnectionPool,
@@ -71,19 +79,23 @@ class BaselineServer(PipelineServer):
                  max_queue: Optional[int] = None,
                  socket_timeout: float = DEFAULT_SOCKET_TIMEOUT,
                  idle_timeout: Optional[float] = None,
-                 max_connections: Optional[int] = None):
+                 max_connections: Optional[int] = None,
+                 lease_strategy: LeaseStrategy = LeaseStrategy.PINNED):
         if workers is None:
             workers = connection_pool.size
-        if workers > connection_pool.size:
+        if (lease_strategy is LeaseStrategy.PINNED
+                and workers > connection_pool.size):
+            # Pinning is what couples worker count to connection count;
+            # leased strategies share the pool and may run more workers.
             raise ValueError(
                 f"thread-per-request workers ({workers}) cannot exceed the "
                 f"connection pool size ({connection_pool.size}): each worker "
                 f"pins one connection"
             )
+        self.lease_strategy = lease_strategy
         stages = [
             Stage("worker", workers, self._serve_client,
-                  worker_init=self._bind_worker_connection,
-                  worker_cleanup=self._release_worker_connection),
+                  resources=DatabaseResource(strategy=lease_strategy)),
         ]
         super().__init__(
             app, connection_pool, stages, entry="worker",

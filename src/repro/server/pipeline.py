@@ -64,6 +64,7 @@ from repro.server.netbase import (
 )
 from repro.server.pools import PoolOverloadedError, ThreadPool
 from repro.server.reactor import ConnectionReactor
+from repro.server.resources import DatabaseResource, LeaseManager
 from repro.server.stats import ServerStats
 from repro.util.clock import Clock, MonotonicClock
 
@@ -190,6 +191,11 @@ class Stage:
     worker_init: Optional[Callable[[], None]] = None
     worker_cleanup: Optional[Callable[[], None]] = None
     max_queue: Optional[int] = None
+    #: Declared resource needs.  ``DatabaseResource(...)`` means this
+    #: stage's workers touch the database; the pipeline provisions the
+    #: connection leases (pinned, per-request, or per-query) around the
+    #: stage's own hooks — servers declare, they do not bind.
+    resources: Optional[DatabaseResource] = None
 
 
 class Pipeline:
@@ -212,12 +218,18 @@ class Pipeline:
     max_queue:
         Default bounded-queue depth for every stage (a stage's own
         ``max_queue`` wins).  ``None`` = unbounded.
+    leases:
+        The :class:`LeaseManager` that provisions declared
+        ``Stage.resources``.  Required when any stage declares a
+        :class:`DatabaseResource`; stages without resources never
+        touch it.
     """
 
     def __init__(self, stages: Sequence[Stage], entry: str,
                  stats: ServerStats, clock: Clock,
                  on_park: Callable[[ClientConnection], None],
-                 max_queue: Optional[int] = None):
+                 max_queue: Optional[int] = None,
+                 leases: Optional[LeaseManager] = None):
         if not stages:
             raise ValueError("a pipeline needs at least one stage")
         names = [stage.name for stage in stages]
@@ -229,17 +241,28 @@ class Pipeline:
         self.entry = entry
         self.stats = stats
         self.clock = clock
+        self.leases = leases
         self._on_park = on_park
         self._accepting = True
         self._pools: Dict[str, ThreadPool] = {}
         self._executors: Dict[str, Callable[[RequestJob], None]] = {}
         for stage in self.stages:
+            init, cleanup = stage.worker_init, stage.worker_cleanup
+            if stage.resources is not None:
+                if leases is None:
+                    raise ValueError(
+                        f"stage {stage.name!r} declares resources but the "
+                        f"pipeline has no LeaseManager"
+                    )
+                init, cleanup = leases.worker_hooks(
+                    stage.name, stage.resources, init, cleanup
+                )
             bound = stage.max_queue if stage.max_queue is not None else max_queue
             self._pools[stage.name] = ThreadPool(
                 stage.name,
                 stage.size,
-                worker_init=stage.worker_init,
-                worker_cleanup=stage.worker_cleanup,
+                worker_init=init,
+                worker_cleanup=cleanup,
                 max_queue=bound,
             )
             self._executors[stage.name] = functools.partial(
@@ -301,7 +324,17 @@ class Pipeline:
         started = self.clock.now()
         queue_wait = job.lifecycle.begin_service(started)
         try:
-            outcome = stage.handler(job)
+            scope = None
+            if stage.resources is not None and self.leases is not None:
+                # Per-request leasing provisions here (pinned and
+                # per-query strategies provisioned in worker hooks and
+                # return scope=None).
+                scope = self.leases.request_scope(stage.name, stage.resources)
+            if scope is not None:
+                with scope:
+                    outcome = stage.handler(job)
+            else:
+                outcome = stage.handler(job)
         except Exception as exc:
             # A handler bug must neither kill the worker nor leak the
             # connection: it becomes an error response to the client.
@@ -388,9 +421,9 @@ class PipelineServer:
     Owns the pieces every server topology needs and that used to be
     duplicated between the staged and baseline servers: the accepting
     :class:`Listener`, the :class:`ConnectionReactor` parking idle
-    keep-alive sockets, the periodic queue sampler, worker
-    connection-pinning hooks, and the start/stop ordering (listener
-    first in, pools last out).
+    keep-alive sockets, the periodic queue sampler, the
+    :class:`LeaseManager` that provisions declared stage resources,
+    and the start/stop ordering (listener first in, pools last out).
 
     Subclasses assemble their stage list (bound-method handlers are
     fine — ``worker_init`` runs after this constructor has assigned
@@ -412,6 +445,13 @@ class PipelineServer:
         self.connection_pool = connection_pool
         self.clock = clock if clock is not None else MonotonicClock()
         self.stats = ServerStats(self.clock)
+        # One lease manager per server: every stage that declares
+        # DatabaseResource gets its connections provisioned (and its
+        # held/busy time metered) through this object — no subclass
+        # binds connections by hand.
+        self.leases = LeaseManager(
+            connection_pool, binder=app, stats=self.stats, clock=self.clock
+        )
         # Pools start their threads (and run worker_init) inside the
         # Pipeline constructor — app/connection_pool must already be
         # set, which is why they are assigned first.
@@ -422,6 +462,7 @@ class PipelineServer:
             clock=self.clock,
             on_park=self._park,
             max_queue=max_queue,
+            leases=self.leases,
         )
         self.reactor = ConnectionReactor(
             self.pipeline.dispatch,
@@ -486,21 +527,6 @@ class PipelineServer:
     def sampler_errors(self) -> int:
         """Exceptions swallowed (but counted) by the periodic tasks."""
         return sum(task.errors for task in self._periodic_tasks)
-
-    # ------------------------------------------------------------------
-    # Worker connection pinning (both dynamic-stage topologies use it)
-    # ------------------------------------------------------------------
-    def _bind_worker_connection(self) -> None:
-        """Pin one pooled connection to this worker thread for life."""
-        self.app.bind_connection(self.connection_pool.acquire())
-
-    def _release_worker_connection(self) -> None:
-        try:
-            connection = self.app.getconn()
-        except RuntimeError:  # pragma: no cover - init failed
-            return
-        self.app.bind_connection(None)
-        self.connection_pool.release(connection)
 
     # ------------------------------------------------------------------
     def template_cache_stats(self) -> dict:

@@ -66,6 +66,7 @@ from repro.server.pipeline import (
     StageOutcome,
 )
 from repro.server.pools import ThreadPool
+from repro.server.resources import DatabaseResource, LeaseStrategy
 from repro.server.static import serve_static
 from repro.util.clock import Clock
 
@@ -84,6 +85,14 @@ class StagedServer(PipelineServer):
         render on the dynamic (connection-holding) threads, like the
         baseline does.  The stage graph simply has four stages instead
         of five; no other code changes.
+    lease_strategy:
+        How the dynamic stages own their database connections.
+        :data:`LeaseStrategy.PINNED` (the default) is the paper's
+        scheme — one connection per dynamic worker for its lifetime;
+        ``LEASED_PER_REQUEST``/``LEASED_PER_QUERY`` are the
+        conventional pooling alternatives the A7 ablation compares it
+        against.  The strategy is pure declaration: it changes the
+        ``resources=`` field on the dynamic stages, nothing else.
     """
 
     def __init__(self, app: Application, connection_pool: ConnectionPool,
@@ -95,7 +104,8 @@ class StagedServer(PipelineServer):
                  socket_timeout: float = DEFAULT_SOCKET_TIMEOUT,
                  idle_timeout: Optional[float] = None,
                  max_connections: Optional[int] = None,
-                 render_inline: bool = False):
+                 render_inline: bool = False,
+                 lease_strategy: LeaseStrategy = LeaseStrategy.PINNED):
         if policy is None:
             # Default policy sized to the connection pool: dynamic
             # threads consume every connection, split 4:1 between the
@@ -113,25 +123,30 @@ class StagedServer(PipelineServer):
         self.policy = policy
         config = self.policy.config
         dynamic_threads = config.general_pool_size + config.lengthy_pool_size
-        if dynamic_threads > connection_pool.size:
+        if (lease_strategy is LeaseStrategy.PINNED
+                and dynamic_threads > connection_pool.size):
+            # Only pinning consumes one connection per worker for life;
+            # the leased strategies share the pool and may oversubscribe.
             raise ValueError(
                 f"dynamic threads ({dynamic_threads}) exceed the connection "
                 f"pool size ({connection_pool.size}); each dynamic thread "
                 f"pins one connection"
             )
         self.render_inline = render_inline
+        self.lease_strategy = lease_strategy
 
-        # Figure 5 as data.  The dynamic stages pin one database
-        # connection per worker for the thread's whole life (§1).
+        # Figure 5 as data.  Only the dynamic stages declare a claim on
+        # the database — "database connections are assigned only to
+        # dynamic-request threads" (§1) — and *how* they own it is the
+        # declared strategy, provisioned by the pipeline's LeaseManager.
+        dynamic_db = DatabaseResource(strategy=lease_strategy)
         stages = [
             Stage("header", config.header_pool_size, self._parse_header),
             Stage("static", config.static_pool_size, self._serve_static),
             Stage("general", config.general_pool_size, self._serve_dynamic,
-                  worker_init=self._bind_worker_connection,
-                  worker_cleanup=self._release_worker_connection),
+                  resources=dynamic_db),
             Stage("lengthy", config.lengthy_pool_size, self._serve_dynamic,
-                  worker_init=self._bind_worker_connection,
-                  worker_cleanup=self._release_worker_connection),
+                  resources=dynamic_db),
         ]
         if not render_inline:
             stages.append(

@@ -57,6 +57,9 @@ class ServerStats:
             "idle_reaped": 0,
             "sheds": 0,
         }
+        # Per-stage connection-lease ledger: strategy label, lease
+        # count, held/busy second sums, acquire-wait percentiles.
+        self._lease_stats: Dict[str, Dict] = {}
 
     @staticmethod
     def _class_labels(request_class: Union[RequestClass, str]) -> tuple:
@@ -163,6 +166,62 @@ class ServerStats:
         values = self.parked_series.values
         gauges["parked"] = int(values[-1]) if values else 0
         return gauges
+
+    # ------------------------------------------------------------------
+    # Connection leases (fed by repro.server.resources.LeaseManager)
+    # ------------------------------------------------------------------
+    def record_lease(self, stage: str, strategy: str, wait_seconds: float,
+                     held_seconds: float, busy_seconds: float) -> None:
+        """One returned connection lease on ``stage``.
+
+        ``held_seconds`` is checkout-to-return; ``busy_seconds`` is the
+        statement-execution time accrued under the lease.  Their ratio
+        — the connection busy fraction — is the paper's headline
+        resource-efficiency metric, recorded here per stage so the
+        report can show *which* stage's ownership wastes connections.
+        """
+        with self._lock:
+            entry = self._lease_stats.get(stage)
+            if entry is None:
+                entry = {
+                    "strategy": strategy,
+                    "leases": 0,
+                    "held_seconds": 0.0,
+                    "busy_seconds": 0.0,
+                    "waits": SummaryAccumulator(f"{stage}/acquire-wait"),
+                }
+                self._lease_stats[stage] = entry
+            entry["strategy"] = strategy
+            entry["leases"] += 1
+            entry["held_seconds"] += held_seconds
+            entry["busy_seconds"] += busy_seconds
+            entry["waits"].add(wait_seconds)
+
+    def connection_utilization(self) -> Dict[str, Dict]:
+        """Per-stage busy-fraction snapshot.
+
+        ``{stage: {strategy, leases, held_seconds, busy_seconds,
+        busy_fraction, acquire_wait: {count, mean, p50, p95, p99,
+        max}}}``.  Pinned leases return at worker shutdown, so read
+        after ``server.stop()`` for complete held-time accounting.
+        """
+        with self._lock:
+            entries = {
+                stage: dict(entry) for stage, entry in self._lease_stats.items()
+            }
+        report: Dict[str, Dict] = {}
+        for stage, entry in entries.items():
+            held = entry["held_seconds"]
+            busy = entry["busy_seconds"]
+            report[stage] = {
+                "strategy": entry["strategy"],
+                "leases": entry["leases"],
+                "held_seconds": held,
+                "busy_seconds": busy,
+                "busy_fraction": (busy / held) if held > 0 else 0.0,
+                "acquire_wait": entry["waits"].summary(),
+            }
+        return report
 
     # ------------------------------------------------------------------
     def completions(self) -> Dict[str, int]:

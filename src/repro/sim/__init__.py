@@ -25,7 +25,13 @@ queueing system in simulated time:
 """
 
 from repro.sim.kernel import Simulation, SimEvent
-from repro.sim.resources import PSServer, SimLockTable, SimThreadPool
+from repro.sim.resources import (
+    PSServer,
+    SimConnectionPool,
+    SimLease,
+    SimLockTable,
+    SimThreadPool,
+)
 from repro.sim.results import SimResults
 from repro.sim.server import SimBaselineServer, SimStagedServer
 from repro.sim.workload import (
@@ -39,6 +45,8 @@ __all__ = [
     "Simulation",
     "SimEvent",
     "PSServer",
+    "SimConnectionPool",
+    "SimLease",
     "SimLockTable",
     "SimThreadPool",
     "SimResults",

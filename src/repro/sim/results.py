@@ -30,6 +30,10 @@ class SimResults:
         self.spare_series = TimeSeries("tspare")
         self.treserve_series = TimeSeries("treserve")
         self.db_active_series = TimeSeries("db-active")
+        #: ``SimConnectionPool.utilization_report()`` snapshot, filled
+        #: in by the workload runner at end of run — the sim's
+        #: connection busy fraction, same shape as the live pool's.
+        self.connection_report: Optional[Dict] = None
 
     # ------------------------------------------------------------------
     def in_window(self, now: float) -> bool:

@@ -18,6 +18,7 @@ from repro.sim.kernel import SimEvent, Simulation
 from repro.sim.resources import (
     PrioritySimThreadPool,
     PSServer,
+    SimConnectionPool,
     SimLockTable,
     SimThreadPool,
 )
@@ -26,16 +27,20 @@ from repro.sim.workload import PageProfile, WorkloadConfig, _report_class
 
 
 class _SimServerBase:
-    """Shared plumbing: the two hosts, the lock table, DB phases."""
+    """Shared plumbing: hosts, lock table, connection pool, DB phases."""
 
     def __init__(self, sim: Simulation, config: WorkloadConfig,
-                 results: SimResults):
+                 results: SimResults, connection_count: int):
         self.sim = sim
         self.config = config
         self.results = results
         self.db = PSServer(sim, "database", cores=config.db_cores)
         self.web = PSServer(sim, "webserver", cores=config.web_cores)
         self.locks = SimLockTable(sim)
+        #: Simulated twin of the live bounded connection pool: leases
+        #: meter held vs. query-busy time so the sim reports the same
+        #: connection busy fraction the live servers export.
+        self.connections = SimConnectionPool(sim, connection_count)
         #: Render demands were calibrated against the interpreting
         #: template engine; the knob models the compiled render path.
         self._render_scale = 1.0 / config.render_speedup
@@ -44,23 +49,30 @@ class _SimServerBase:
         return profile.render_demand * jitter * self._render_scale
 
     # ------------------------------------------------------------------
-    def _db_phase(self, profile: PageProfile, jitter: float):
+    def _db_phase(self, profile: PageProfile, jitter: float, lease=None):
         """The data-generation phase: read holds, query, optional write
-        grace period.  The calling thread (and its pinned database
-        connection) is occupied for the entire phase."""
+        grace period.  The calling thread (and its held database
+        connection) is occupied for the entire phase; time actually
+        spent serving queries accrues onto ``lease`` as busy time."""
         read_tables = sorted(profile.read_tables)
         tokens = [(table, self.locks.acquire_read(table))
                   for table in read_tables]
         try:
             if profile.db_demand > 0:
+                query_started = self.sim.now
                 yield self.db.serve(profile.db_demand * jitter)
+                if lease is not None:
+                    lease.note_busy(self.sim.now - query_started)
         finally:
             for table, token in reversed(tokens):
                 self.locks.release_read(table, token)
         if profile.write_table is not None:
             yield self.locks.acquire_write(profile.write_table)
             try:
+                query_started = self.sim.now
                 yield self.db.serve(profile.write_demand * jitter)
+                if lease is not None:
+                    lease.note_busy(self.sim.now - query_started)
             finally:
                 self.locks.release_write(profile.write_table)
 
@@ -86,32 +98,42 @@ class SimBaselineServer(_SimServerBase):
 
     def __init__(self, sim: Simulation, config: WorkloadConfig,
                  results: SimResults):
-        super().__init__(sim, config, results)
+        # One pinned connection per worker (§1): pool size = workers.
+        super().__init__(sim, config, results,
+                         connection_count=config.baseline_workers)
         self.workers = SimThreadPool(sim, "worker", config.baseline_workers)
 
     def _page_process(self, profile: PageProfile, jitter: float):
         yield self.workers.acquire(tag="dynamic")
+        # The same thread parses, queries, and renders; its pinned
+        # connection is held (and mostly idle) for the whole request.
+        lease = self.connections.lease(tag="dynamic")
+        yield lease.granted
         try:
-            # The same thread parses, queries, and renders; its pinned
-            # connection is idle during parse and render.
             yield self.web.serve(profile.parse_demand)
             generation_start = self.sim.now
-            yield from self._db_phase(profile, jitter)
+            yield from self._db_phase(profile, jitter, lease)
             self.results.record_generation(
                 self.sim.now, profile.path, self.sim.now - generation_start
             )
             if profile.render_demand > 0:
                 yield self.web.serve(self._render_demand(profile, jitter))
         finally:
+            lease.release()
             self.workers.release()
         self.results.record_request(self.sim.now, "dynamic")
         self.results.record_request(self.sim.now, _report_class(profile.path))
 
     def _static_process(self, demand: float):
         yield self.workers.acquire(tag="static")
+        # Even static serving occupies the worker's pinned connection —
+        # the paper's complaint about the thread-per-request trend.
+        lease = self.connections.lease(tag="static")
+        yield lease.granted
         try:
             yield self.web.serve(demand)
         finally:
+            lease.release()
             self.workers.release()
         self.results.record_request(self.sim.now, "static")
 
@@ -131,7 +153,11 @@ class SimStagedServer(_SimServerBase):
                  results: SimResults,
                  dispatcher: Optional[Dispatcher] = None,
                  render_inline: bool = False):
-        super().__init__(sim, config, results)
+        # Connections are assigned only to dynamic-request threads
+        # (§1): the pool is sized to the two dynamic stages.
+        super().__init__(sim, config, results,
+                         connection_count=(config.general_pool
+                                           + config.lengthy_pool))
         #: Ablation A5: render on the connection-holding dynamic thread
         #: (as the baseline does) instead of the render pool.
         self.render_inline = render_inline
@@ -178,9 +204,13 @@ class SimStagedServer(_SimServerBase):
         else:
             pool, tag = self.lengthy_pool, "lengthy"
         yield pool.acquire(tag=tag)
+        # The connection is held only while a dynamic thread works —
+        # the paper's scheme, and the source of the busy-fraction gap.
+        lease = self.connections.lease(tag=tag)
+        yield lease.granted
         try:
             generation_start = self.sim.now
-            yield from self._db_phase(profile, jitter)
+            yield from self._db_phase(profile, jitter, lease)
             generation_seconds = self.sim.now - generation_start
             # Feed the live classifier, exactly as the real server does
             # at the moment the unrendered template is enqueued (§3.3).
@@ -192,6 +222,7 @@ class SimStagedServer(_SimServerBase):
                 # A5: the connection sits idle while this thread renders.
                 yield self.web.serve(self._render_demand(profile, jitter))
         finally:
+            lease.release()
             pool.release()
 
         if not self.render_inline:
@@ -252,7 +283,9 @@ class SimSJFServer(_SimServerBase):
 
     def __init__(self, sim: Simulation, config: WorkloadConfig,
                  results: SimResults):
-        super().__init__(sim, config, results)
+        # Baseline structure: every worker pins one connection.
+        super().__init__(sim, config, results,
+                         connection_count=config.baseline_workers)
         self.workers = PrioritySimThreadPool(
             sim, "sjf-worker", config.baseline_workers
         )
@@ -270,10 +303,12 @@ class SimSJFServer(_SimServerBase):
         estimate = self.policy.tracker.mean_time(profile.path)
         priority = estimate if estimate is not None else 0.0
         yield self.workers.acquire(tag="dynamic", priority=priority)
+        lease = self.connections.lease(tag="dynamic")
+        yield lease.granted
         try:
             yield self.web.serve(profile.parse_demand)
             generation_start = self.sim.now
-            yield from self._db_phase(profile, jitter)
+            yield from self._db_phase(profile, jitter, lease)
             generation_seconds = self.sim.now - generation_start
             self.policy.record_generation_time(profile.path,
                                                generation_seconds)
@@ -283,6 +318,7 @@ class SimSJFServer(_SimServerBase):
             if profile.render_demand > 0:
                 yield self.web.serve(self._render_demand(profile, jitter))
         finally:
+            lease.release()
             self.workers.release()
         self.results.record_request(self.sim.now, "dynamic")
         self.results.record_request(self.sim.now, _report_class(profile.path))
@@ -290,9 +326,12 @@ class SimSJFServer(_SimServerBase):
     def _static_process(self, demand: float):
         # Statics are known-small: priority 0 (jump lengthy jobs).
         yield self.workers.acquire(tag="static", priority=0.0)
+        lease = self.connections.lease(tag="static")
+        yield lease.granted
         try:
             yield self.web.serve(demand)
         finally:
+            lease.release()
             self.workers.release()
         self.results.record_request(self.sim.now, "static")
 

@@ -268,6 +268,9 @@ def run_tpcw_simulation(server_kind: str,
     sim.spawn(_sampler(sim, server, results, config))
 
     sim.run(until=config.duration)
+    # In-flight leases at cut-off are simply not counted (same rule as
+    # the live report: completed checkouts only).
+    results.connection_report = server.connections.utilization_report()
     return results
 
 

@@ -93,56 +93,55 @@ def measure_pages(app: TPCWApplication, seed: int = 7,
     pool = ConnectionPool(database, size=1)
     recorder = _StatementRecorder(database)
 
-    # Interpose on the connection's execute path to observe statements.
-    connection = pool.acquire()
-    original_execute = connection._execute
-
-    def recording_execute(sql, params):
-        recorder.observe(sql)
-        return original_execute(sql, params)
-
-    connection._execute = recording_execute  # type: ignore[method-assign]
-    app.bind_connection(connection)
-
     items = len(database.table("item"))
     customers = len(database.table("customer"))
     mix = BrowsingMix(RandomStream(seed, "profile"), customers=customers,
                       items=items)
     results: Dict[str, PageMeasurement] = {}
-    try:
-        for path in PAGES:
-            handler = app.handler_for(path)
-            total_db = 0.0
-            total_bytes = 0
-            total_statements = 0
-            reads: set = set()
-            writes: set = set()
-            for _ in range(repetitions):
-                params = mix.params_for(path)
-                recorder.start_page()
-                before = database.cost_model.total_seconds
-                result = handler(**params)
-                total_db += database.cost_model.total_seconds - before
-                template_name, data = result
-                html = app.templates.render(template_name, data)
-                total_bytes += len(html.encode("utf-8"))
-                total_statements += recorder.statements
-                reads |= recorder.reads
-                writes |= recorder.writes
-                if path == "/shopping_cart":
-                    mix.note_cart(data["sc_id"])
-            results[path] = PageMeasurement(
-                path=path,
-                db_seconds=total_db / repetitions,
-                statements=total_statements // repetitions,
-                output_bytes=total_bytes // repetitions,
-                tables_read=tuple(sorted(reads - writes)),
-                tables_written=tuple(sorted(writes)),
-            )
-    finally:
-        app.bind_connection(None)
-        connection._execute = original_execute  # type: ignore[method-assign]
-        pool.release(connection)
+    # Scoped checkout (the lint forbids raw acquire/release pairs);
+    # interpose on the connection's execute path to observe statements.
+    with pool.lease() as connection:
+        original_execute = connection._execute
+
+        def recording_execute(sql, params):
+            recorder.observe(sql)
+            return original_execute(sql, params)
+
+        connection._execute = recording_execute  # type: ignore[method-assign]
+        app.bind_connection(connection)
+        try:
+            for path in PAGES:
+                handler = app.handler_for(path)
+                total_db = 0.0
+                total_bytes = 0
+                total_statements = 0
+                reads: set = set()
+                writes: set = set()
+                for _ in range(repetitions):
+                    params = mix.params_for(path)
+                    recorder.start_page()
+                    before = database.cost_model.total_seconds
+                    result = handler(**params)
+                    total_db += database.cost_model.total_seconds - before
+                    template_name, data = result
+                    html = app.templates.render(template_name, data)
+                    total_bytes += len(html.encode("utf-8"))
+                    total_statements += recorder.statements
+                    reads |= recorder.reads
+                    writes |= recorder.writes
+                    if path == "/shopping_cart":
+                        mix.note_cart(data["sc_id"])
+                results[path] = PageMeasurement(
+                    path=path,
+                    db_seconds=total_db / repetitions,
+                    statements=total_statements // repetitions,
+                    output_bytes=total_bytes // repetitions,
+                    tables_read=tuple(sorted(reads - writes)),
+                    tables_written=tuple(sorted(writes)),
+                )
+        finally:
+            app.bind_connection(None)
+            connection._execute = original_execute  # type: ignore[method-assign]
     return results
 
 

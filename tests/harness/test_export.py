@@ -99,6 +99,10 @@ class TestServerStatsDocument:
         stats.record_stage_timing("lengthy", 0.5, 2.0)
         stats.sample_queue("lengthy", 3)
         stats.record_generation_time("/page", 2.0)
+        stats.record_lease("lengthy", "pinned", wait_seconds=0.01,
+                           held_seconds=10.0, busy_seconds=4.0)
+        stats.record_lease("lengthy", "pinned", wait_seconds=0.03,
+                           held_seconds=10.0, busy_seconds=2.0)
         return stats
 
     def test_document_structure(self):
@@ -115,6 +119,27 @@ class TestServerStatsDocument:
         assert document["queue_series"]["lengthy"] == [[0.0, 3.0]]
         assert document["connection_gauges"]["parked"] == 0
 
+    def test_connection_utilization_shape(self):
+        from repro.harness.export import server_stats_document
+
+        document = server_stats_document(self._stats())
+        utilization = document["connection_utilization"]
+        assert set(utilization) == {"lengthy"}
+        entry = utilization["lengthy"]
+        assert set(entry) == {
+            "strategy", "leases", "held_seconds", "busy_seconds",
+            "busy_fraction", "acquire_wait",
+        }
+        assert entry["strategy"] == "pinned"
+        assert entry["leases"] == 2
+        assert entry["held_seconds"] == 20.0
+        assert entry["busy_seconds"] == 6.0
+        assert entry["busy_fraction"] == pytest.approx(0.3)
+        wait = entry["acquire_wait"]
+        assert set(wait) == {"count", "mean", "p50", "p95", "p99", "max"}
+        assert wait["count"] == 2
+        assert wait["max"] == 0.03
+
     def test_export_round_trips_through_json(self, tmp_path):
         from repro.harness.export import export_server_stats_json
 
@@ -124,3 +149,4 @@ class TestServerStatsDocument:
         with open(path, encoding="utf-8") as f:
             loaded = json.load(f)
         assert loaded["stage_timings"]["header"]["service"]["count"] == 1
+        assert loaded["connection_utilization"]["lengthy"]["leases"] == 2

@@ -104,3 +104,35 @@ class TestStageBreakdown:
 
         text = format_page_percentiles(ServerStats(ManualClock()))
         assert "no completions" in text
+
+
+class TestConnectionUtilization:
+    def _stats(self):
+        from repro.server.stats import ServerStats
+        from repro.util.clock import ManualClock
+
+        stats = ServerStats(ManualClock())
+        stats.record_lease("general", "pinned", wait_seconds=0.02,
+                           held_seconds=8.0, busy_seconds=6.0)
+        stats.record_lease("lengthy", "per-request", wait_seconds=0.5,
+                           held_seconds=4.0, busy_seconds=1.0)
+        return stats
+
+    def test_one_row_per_stage_with_busy_fraction(self):
+        from repro.harness.report import format_connection_utilization
+
+        text = format_connection_utilization(self._stats())
+        assert "general" in text and "lengthy" in text
+        assert "pinned" in text and "per-request" in text
+        # general: 6.0 / 8.0 = 75%; lengthy: 1.0 / 4.0 = 25%
+        assert "75.0%" in text
+        assert "25.0%" in text
+        assert "wait p95" in text
+
+    def test_empty_stats(self):
+        from repro.harness.report import format_connection_utilization
+        from repro.server.stats import ServerStats
+        from repro.util.clock import ManualClock
+
+        text = format_connection_utilization(ServerStats(ManualClock()))
+        assert "no connection leases" in text

@@ -1,0 +1,79 @@
+"""The CI acquire-site lint: checkouts only in the resource layers."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+CHECKER = os.path.join(REPO_ROOT, "tools", "check_acquire_sites.py")
+
+sys.path.insert(0, os.path.join(REPO_ROOT, "tools"))
+from check_acquire_sites import find_violations  # noqa: E402
+
+
+class TestFindViolations:
+    def test_repo_src_tree_is_clean(self):
+        assert find_violations(os.path.join(REPO_ROOT, "src")) == []
+
+    def test_detects_stray_acquire_call(self, tmp_path):
+        package = tmp_path / "repro" / "server"
+        package.mkdir(parents=True)
+        (package / "rogue.py").write_text(
+            "def f(pool):\n    conn = pool.acquire()\n"
+        )
+        violations = find_violations(str(tmp_path))
+        assert len(violations) == 1
+        relative, lineno, line = violations[0]
+        assert relative == os.path.join("repro", "server", "rogue.py")
+        assert lineno == 2
+        assert ".acquire(" in line
+
+    def test_lease_layer_is_allowed(self, tmp_path):
+        package = tmp_path / "repro" / "server"
+        package.mkdir(parents=True)
+        (package / "resources.py").write_text(
+            "def f(pool):\n    return pool.acquire(timeout=1.0)\n"
+        )
+        assert find_violations(str(tmp_path)) == []
+
+    def test_db_pool_and_locks_are_allowed(self, tmp_path):
+        package = tmp_path / "repro" / "db"
+        package.mkdir(parents=True)
+        (package / "pool.py").write_text("x = lock.acquire()\n")
+        (package / "locks.py").write_text("x = lock.acquire('read')\n")
+        assert find_violations(str(tmp_path)) == []
+
+    def test_comments_do_not_count(self, tmp_path):
+        package = tmp_path / "repro"
+        package.mkdir(parents=True)
+        (package / "notes.py").write_text(
+            "# never call pool.acquire() directly\nx = 1\n"
+        )
+        assert find_violations(str(tmp_path)) == []
+
+    def test_non_python_files_ignored(self, tmp_path):
+        (tmp_path / "README.md").write_text("call pool.acquire() freely\n")
+        assert find_violations(str(tmp_path)) == []
+
+
+class TestCommandLine:
+    def test_exit_zero_on_clean_tree(self):
+        result = subprocess.run(
+            [sys.executable, CHECKER], capture_output=True, text=True,
+            cwd=REPO_ROOT,
+        )
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "clean" in result.stdout
+
+    def test_exit_one_with_listing_on_violation(self, tmp_path):
+        rogue = tmp_path / "repro" / "worker.py"
+        rogue.parent.mkdir(parents=True)
+        rogue.write_text("conn = pool.acquire()\n")
+        result = subprocess.run(
+            [sys.executable, CHECKER, str(tmp_path)],
+            capture_output=True, text=True,
+        )
+        assert result.returncode == 1
+        assert "worker.py:1" in result.stdout

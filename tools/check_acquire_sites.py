@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Lint: raw ``.acquire(`` calls are confined to the resource layers.
+
+Database connections are the scarce resource of the whole study, and a
+raw ``ConnectionPool.acquire``/``release`` pair is exactly the ad-hoc
+wiring the lease refactor removed: a missed or doubled release corrupts
+the pool, and an unmetered checkout escapes the busy-fraction
+accounting.  Server and application code must go through
+``repro.server.resources.LeaseManager`` (or the pool's scoped
+``lease()`` context manager) — so CI greps the src tree for stray
+``.acquire(`` call sites and fails on any outside the allow-list.
+
+The pattern is deliberately broad (it also matches lock-manager and
+simulated-thread-pool acquires): every legitimate acquire already lives
+in an allow-listed resource module, so anything new that matches is
+either a connection checkout that must become a lease, or a new
+resource primitive that belongs in one of these files.
+
+Usage: python tools/check_acquire_sites.py [src-root]
+Exit status 0 if clean, 1 with a listing of offending lines otherwise.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import sys
+
+#: Files allowed to call .acquire( directly.
+ALLOWED = {
+    # The pool itself: creates connections, implements lease().
+    os.path.join("repro", "db", "pool.py"),
+    # Table-lock manager: lock.acquire(mode, timeout), not connections.
+    os.path.join("repro", "db", "locks.py"),
+    # THE lease layer — the one sanctioned ConnectionPool.acquire site.
+    os.path.join("repro", "server", "resources.py"),
+    # Simulated resources: SimThreadPool/SimConnectionPool primitives.
+    os.path.join("repro", "sim", "resources.py"),
+    # Sim server models acquire simulated *thread-pool* tokens; their
+    # connections go through SimConnectionPool.lease().
+    os.path.join("repro", "sim", "server.py"),
+}
+
+#: An .acquire( call site, scanned on comment-stripped lines.
+ACQUIRE_CALL = re.compile(r"\.acquire\s*\(")
+
+
+def find_violations(src_root: str):
+    violations = []
+    for dirpath, _dirnames, filenames in os.walk(src_root):
+        for filename in filenames:
+            if not filename.endswith(".py"):
+                continue
+            path = os.path.join(dirpath, filename)
+            relative = os.path.relpath(path, src_root)
+            if relative in ALLOWED:
+                continue
+            with open(path, encoding="utf-8") as f:
+                for lineno, line in enumerate(f, start=1):
+                    code = line.split("#", 1)[0]
+                    if ACQUIRE_CALL.search(code):
+                        violations.append(
+                            (relative, lineno, line.rstrip("\n"))
+                        )
+    return violations
+
+
+def main(argv) -> int:
+    src_root = argv[1] if len(argv) > 1 else os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"
+    )
+    violations = find_violations(src_root)
+    if violations:
+        print("raw .acquire( call sites outside the resource layers "
+              "(lease through repro.server.resources or pool.lease()):")
+        for relative, lineno, line in violations:
+            print(f"  {relative}:{lineno}: {line.strip()}")
+        return 1
+    print("acquire-site check: clean "
+          "(all connection checkouts flow through the lease layer)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
