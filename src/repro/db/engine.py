@@ -42,6 +42,11 @@ class Database:
         self.tables: Dict[str, Table] = {}
         self.cost_model = cost_model if cost_model is not None else CostModel()
         self.locks = LockManager(default_timeout=lock_timeout)
+        #: Optional :class:`repro.faults.plan.FaultPlan` consulted per
+        #: real statement (never for BEGIN/COMMIT/ROLLBACK): latency
+        #: spikes, transient failures, hard failures.  Assigned by the
+        #: owning server.
+        self.faults = None
         self._statement_cache: Dict[str, Statement] = {}
         self._cache_lock = threading.Lock()
         self._schema_lock = threading.Lock()
@@ -120,6 +125,11 @@ class Database:
         if isinstance(statement, Rollback):
             undone = self._rollback(connection_id)
             return ResultSet(rowcount=undone)
+        if self.faults is not None:
+            # Injection point: only for statements that do work —
+            # failing transaction control would break rollback paths
+            # no real backend fails this way.
+            self.faults.on_db_query()
         transaction = self.transactions.current(self._txn_key(connection_id))
         undo = transaction.undo if transaction is not None else None
         needs = self._lock_needs(statement)

@@ -38,6 +38,13 @@ class LockTimeoutError(DatabaseError):
     """A table lock could not be acquired within the timeout."""
 
 
+class TransientDBError(DatabaseError):
+    """A momentary failure that a retry may survive (dropped backend
+    connection, replica failover, deadlock victim).  The retry policy
+    in :mod:`repro.server.resources` retries idempotent statements on
+    exactly this class — anything else is treated as permanent."""
+
+
 class PoolTimeoutError(DatabaseError):
     """No connection became available within the timeout."""
 

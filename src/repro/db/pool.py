@@ -46,6 +46,11 @@ class ConnectionPool:
         self.database = database
         self.size = size
         self._clock = clock
+        #: Optional :class:`repro.faults.plan.FaultPlan` consulted at
+        #: the top of every :meth:`acquire` (delay or exhaust faults).
+        #: Assigned by the owning server; the pool stays ignorant of
+        #: the plan's structure.
+        self.faults = None
         self._idle: Deque[Connection] = deque()
         self._all: list = []
         self._created = 0
@@ -72,6 +77,11 @@ class ConnectionPool:
     # ------------------------------------------------------------------
     def acquire(self, timeout: Optional[float] = None) -> Connection:
         """Check out a connection, blocking while none are free."""
+        if self.faults is not None:
+            # An injected DELAY sleeps here (outside the condition, so
+            # it does not serialise other acquirers); EXHAUST/FAIL
+            # raises PoolTimeoutError exactly as a starved wait would.
+            self.faults.on_pool_acquire()
         start = self._clock()
         with self._available:
             if self._closed:

@@ -29,6 +29,16 @@ def main(argv=None) -> int:
     parser.add_argument("--seed", type=int, default=2009)
     parser.add_argument("--clients", type=int, default=None)
     parser.add_argument(
+        "--chaos", action="store_true",
+        help="run the chaos experiment instead: both topologies under "
+             "a seeded fault schedule with the resilience policies "
+             "(deadlines, retry, breaker) active",
+    )
+    parser.add_argument(
+        "--fault-seed", type=int, default=7,
+        help="seed for the chaos fault plan (default 7)",
+    )
+    parser.add_argument(
         "--export-json", metavar="PATH", default=None,
         help="also write the full results document as JSON",
     )
@@ -45,6 +55,21 @@ def main(argv=None) -> int:
     if args.clients is not None:
         import dataclasses
         config = dataclasses.replace(config, clients=args.clients)
+
+    if args.chaos:
+        from repro.harness.chaos import (
+            ChaosConfig,
+            format_chaos_report,
+            run_chaos,
+        )
+
+        started = time.time()
+        document = run_chaos(ChaosConfig(
+            workload=config, fault_seed=args.fault_seed
+        ))
+        print(format_chaos_report(document))
+        print(f"\n(total wall time: {time.time() - started:.1f}s)")
+        return 0
 
     runner = ExperimentRunner(config)
     started = time.time()

@@ -122,6 +122,7 @@ def server_stats_document(stats) -> Dict:
         },
         "connection_gauges": stats.connection_gauges(),
         "connection_utilization": stats.connection_utilization(),
+        "resilience": stats.resilience_report(),
     }
 
 

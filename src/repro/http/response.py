@@ -30,6 +30,7 @@ STATUS_REASONS: Dict[int, str] = {
     500: "Internal Server Error",
     502: "Bad Gateway",
     503: "Service Unavailable",
+    504: "Gateway Timeout",
     505: "HTTP Version Not Supported",
 }
 

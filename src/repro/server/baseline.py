@@ -23,6 +23,9 @@ from typing import Optional
 
 from repro.core.classifier import RequestClass, page_key
 from repro.db.pool import ConnectionPool
+from repro.faults.errors import CircuitOpenError
+from repro.faults.plan import FaultPlan
+from repro.faults.policies import ResilienceConfig
 from repro.http.errors import HTTPError
 from repro.http.response import HTTPResponse
 from repro.server.app import Application
@@ -80,7 +83,9 @@ class BaselineServer(PipelineServer):
                  socket_timeout: float = DEFAULT_SOCKET_TIMEOUT,
                  idle_timeout: Optional[float] = None,
                  max_connections: Optional[int] = None,
-                 lease_strategy: LeaseStrategy = LeaseStrategy.PINNED):
+                 lease_strategy: LeaseStrategy = LeaseStrategy.PINNED,
+                 faults: Optional[FaultPlan] = None,
+                 resilience: Optional[ResilienceConfig] = None):
         if workers is None:
             workers = connection_pool.size
         if (lease_strategy is LeaseStrategy.PINNED
@@ -103,6 +108,7 @@ class BaselineServer(PipelineServer):
             queue_sample_interval=queue_sample_interval,
             max_queue=max_queue, socket_timeout=socket_timeout,
             idle_timeout=idle_timeout, max_connections=max_connections,
+            faults=faults, resilience=resilience,
         )
 
     @property
@@ -151,5 +157,9 @@ class BaselineServer(PipelineServer):
                 # the database connection.
                 return Complete(render_page(self.app, outcome))
             return Complete(HTTPResponse.html(outcome))
+        except CircuitOpenError:
+            # Breaker fast-fails belong to the pipeline (degraded
+            # serving or a Retry-After 503), not the generic 500 path.
+            raise
         except Exception as exc:
             return Complete(error_response(exc))

@@ -12,6 +12,11 @@ import socket
 import threading
 from typing import Callable, Optional, Tuple
 
+from repro.faults.plan import (
+    SITE_SOCKET_READ,
+    SITE_SOCKET_WRITE,
+    FaultAction,
+)
 from repro.http.errors import BadRequestError, RequestTimeoutError
 from repro.http.parser import ParserState, RequestParser
 from repro.http.request import HTTPRequest
@@ -34,12 +39,17 @@ class ClientConnection:
     pipelined requests are retained between reads.
     """
 
-    def __init__(self, sock: socket.socket, timeout: float = DEFAULT_SOCKET_TIMEOUT):
+    def __init__(self, sock: socket.socket,
+                 timeout: float = DEFAULT_SOCKET_TIMEOUT,
+                 faults=None):
         self._sock = sock
         self._sock.settimeout(timeout)
         self._leftover = b""
         self._parser: Optional[RequestParser] = None
         self._send_lock = threading.Lock()
+        #: Optional :class:`repro.faults.plan.FaultPlan`: socket-level
+        #: drop/stall/short-write faults, threaded from the Listener.
+        self.faults = faults
         self.closed = False
 
     # ------------------------------------------------------------------
@@ -58,6 +68,20 @@ class ClientConnection:
         slowness, not a disconnect — raise 408 so the caller can say
         so, instead of misreporting a "client disconnected" 400.
         """
+        if self.faults is not None:
+            decision = self.faults.decide(SITE_SOCKET_READ)
+            if decision is not None:
+                if decision.action is FaultAction.STALL:
+                    # The peer went quiet mid-request: same contract as
+                    # a real socket timeout, without waiting one out.
+                    if parser.started:
+                        raise RequestTimeoutError(
+                            "client stalled mid-request (injected)"
+                        )
+                    return False
+                if decision.action is FaultAction.DROP:
+                    self.close()
+                    return False
         try:
             data = self._sock.recv(_RECV_SIZE)
         except socket.timeout as exc:
@@ -139,6 +163,23 @@ class ClientConnection:
     def send_response(self, response: HTTPResponse, keep_alive: bool) -> int:
         """Serialise and transmit; returns bytes sent (0 if peer gone)."""
         payload = response.serialize(keep_alive=keep_alive)
+        if self.faults is not None:
+            decision = self.faults.decide(SITE_SOCKET_WRITE)
+            if decision is not None:
+                if decision.action is FaultAction.DROP:
+                    # Peer vanished before transmission: 0 bytes sent,
+                    # so the pipeline will not count a completion.
+                    self.close()
+                    return 0
+                if decision.action is FaultAction.SHORT_WRITE:
+                    truncated = payload[:max(1, len(payload) // 2)]
+                    with self._send_lock:
+                        try:
+                            self._sock.sendall(truncated)
+                        except OSError:
+                            pass
+                    self.close()
+                    return 0
         with self._send_lock:
             try:
                 self._sock.sendall(payload)
@@ -179,7 +220,8 @@ class Listener:
     def __init__(self, host: str, port: int,
                  on_accept: Callable[[ClientConnection], None],
                  backlog: int = 128,
-                 socket_timeout: float = DEFAULT_SOCKET_TIMEOUT):
+                 socket_timeout: float = DEFAULT_SOCKET_TIMEOUT,
+                 faults=None):
         self._server_sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._server_sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._server_sock.bind((host, port))
@@ -187,6 +229,7 @@ class Listener:
         self._server_sock.settimeout(0.2)  # poll for shutdown
         self._on_accept = on_accept
         self._socket_timeout = socket_timeout
+        self._faults = faults
         self._stopping = threading.Event()
         self._thread = threading.Thread(
             target=self._accept_loop, name="listener", daemon=True
@@ -210,7 +253,9 @@ class Listener:
                 return
             self.accepted += 1
             client_sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-            self._on_accept(ClientConnection(client_sock, self._socket_timeout))
+            self._on_accept(ClientConnection(
+                client_sock, self._socket_timeout, faults=self._faults
+            ))
 
     def stop(self) -> None:
         self._stopping.set()

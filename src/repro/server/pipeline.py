@@ -48,10 +48,15 @@ from __future__ import annotations
 
 import dataclasses
 import functools
+import math
+import time
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from repro.core.classifier import RequestClass
 from repro.db.pool import ConnectionPool
+from repro.faults.errors import CircuitOpenError, WorkerCrashError
+from repro.faults.plan import SITE_WORKER, FaultAction, FaultPlan
+from repro.faults.policies import CircuitBreaker, ResilienceConfig
 from repro.http.request import HTTPRequest
 from repro.http.response import HTTPResponse
 from repro.server.app import Application
@@ -92,6 +97,8 @@ class Fail:
 
     status: int
     message: str = ""
+    #: Extra response headers (e.g. ``Retry-After`` on a breaker 503).
+    headers: Optional[Dict[str, str]] = None
 
 
 class _Done:
@@ -167,6 +174,15 @@ class RequestJob:
     page_key: str = ""
     request_class: RequestClass = RequestClass.QUICK_DYNAMIC
     unrendered: Optional[UnrenderedPage] = None
+    #: Name of the stage that currently owns this job — the ownership
+    #: token a pool's error handler checks before disposing of the
+    #: connection, so a worker crash *after* routing never touches a
+    #: job that already lives downstream.
+    stage: str = ""
+    #: Set by the first terminal path (complete/fail/DONE); later
+    #: completions are recorded as late and suppressed instead of
+    #: double-counting stats or parking a dead socket.
+    finished: bool = False
 
     @property
     def arrival(self) -> float:
@@ -229,7 +245,13 @@ class Pipeline:
                  stats: ServerStats, clock: Clock,
                  on_park: Callable[[ClientConnection], None],
                  max_queue: Optional[int] = None,
-                 leases: Optional[LeaseManager] = None):
+                 leases: Optional[LeaseManager] = None,
+                 faults: Optional[FaultPlan] = None,
+                 resilience: Optional[ResilienceConfig] = None,
+                 on_degraded: Optional[
+                     Callable[["RequestJob"], Optional[HTTPResponse]]] = None,
+                 stale_store: Optional[
+                     Callable[["RequestJob", HTTPResponse], None]] = None):
         if not stages:
             raise ValueError("a pipeline needs at least one stage")
         names = [stage.name for stage in stages]
@@ -243,6 +265,18 @@ class Pipeline:
         self.clock = clock
         self.leases = leases
         self._on_park = on_park
+        #: Fault-injection plan threaded through the worker hook and
+        #: bracketed around handler execution as request context.
+        self._faults = faults
+        #: Deadlines and degraded-serving policy; retry/breaker live in
+        #: the LeaseManager.
+        self._resilience = resilience
+        #: Returns a stale-cache response for a breaker-open job, or
+        #: ``None`` to fall through to the fast-fail 503.
+        self._on_degraded = on_degraded
+        #: Called with each successful dynamic completion so degraded
+        #: serving has a last-known-good copy to fall back on.
+        self._stale_store = stale_store
         self._accepting = True
         self._pools: Dict[str, ThreadPool] = {}
         self._executors: Dict[str, Callable[[RequestJob], None]] = {}
@@ -264,6 +298,11 @@ class Pipeline:
                 worker_init=init,
                 worker_cleanup=cleanup,
                 max_queue=bound,
+                error_handler=functools.partial(
+                    self._on_worker_error, stage.name
+                ),
+                fault_hook=(functools.partial(self._worker_fault, stage.name)
+                            if faults is not None else None),
             )
             self._executors[stage.name] = functools.partial(
                 self._execute, stage
@@ -289,7 +328,8 @@ class Pipeline:
         quietly — the one place the pipeline does *not* own the 503.
         """
         now = self.clock.now()
-        job = RequestJob(client=client, lifecycle=RequestLifecycle(now))
+        job = RequestJob(client=client, lifecycle=RequestLifecycle(now),
+                         stage=self.entry)
         self._pools[self.entry].submit(self._executors[self.entry], job)
 
     def submit(self, name: str, job: RequestJob) -> None:
@@ -308,6 +348,11 @@ class Pipeline:
             # the connection.
             self.fail(job, 500, f"no such stage: {name!r}")
             return
+        # Ownership moves to the destination stage *before* the
+        # enqueue: if the submitting worker crashes after this point,
+        # its error handler sees a job it no longer owns and leaves
+        # the downstream stage to finish it.
+        job.stage = name
         job.lifecycle.mark_enqueued(self.clock.now())
         try:
             pool.submit(self._executors[name], job)
@@ -323,22 +368,44 @@ class Pipeline:
     def _execute(self, stage: Stage, job: RequestJob) -> None:
         started = self.clock.now()
         queue_wait = job.lifecycle.begin_service(started)
+        deadline = (self._resilience.deadline_for(stage.name)
+                    if self._resilience is not None else None)
+        token = None
+        if self._faults is not None:
+            token = self._faults.push_context(job.page_key or None,
+                                              stage.name)
         try:
-            scope = None
-            if stage.resources is not None and self.leases is not None:
-                # Per-request leasing provisions here (pinned and
-                # per-query strategies provisioned in worker hooks and
-                # return scope=None).
-                scope = self.leases.request_scope(stage.name, stage.resources)
-            if scope is not None:
-                with scope:
-                    outcome = stage.handler(job)
+            if deadline is not None and started - job.arrival > deadline:
+                # Expired before service even began: fail 504 without
+                # running the handler — and, crucially, without leasing
+                # a connection a doomed request would only waste.
+                self.stats.record_deadline_expired(stage.name)
+                outcome = Fail(504, "request deadline expired")
             else:
-                outcome = stage.handler(job)
-        except Exception as exc:
-            # A handler bug must neither kill the worker nor leak the
-            # connection: it becomes an error response to the client.
-            outcome = Complete(error_response(exc))
+                try:
+                    scope = None
+                    if stage.resources is not None and self.leases is not None:
+                        # Per-request leasing provisions here (pinned
+                        # and per-query strategies provisioned in
+                        # worker hooks and return scope=None).
+                        scope = self.leases.request_scope(
+                            stage.name, stage.resources
+                        )
+                    if scope is not None:
+                        with scope:
+                            outcome = stage.handler(job)
+                    else:
+                        outcome = stage.handler(job)
+                except CircuitOpenError as exc:
+                    outcome = self._breaker_outcome(stage, job, exc)
+                except Exception as exc:
+                    # A handler bug must neither kill the worker nor
+                    # leak the connection: it becomes an error response
+                    # to the client.
+                    outcome = Complete(error_response(exc))
+        finally:
+            if token is not None and self._faults is not None:
+                self._faults.pop_context(token)
         service = self.clock.now() - started
         job.lifecycle.record_hop(stage.name, queue_wait, service)
         self.stats.record_stage_timing(stage.name, queue_wait, service)
@@ -347,20 +414,83 @@ class Pipeline:
         elif isinstance(outcome, Complete):
             self.complete(job, outcome.response)
         elif isinstance(outcome, Fail):
-            self.fail(job, outcome.status, outcome.message)
+            self.fail(job, outcome.status, outcome.message, outcome.headers)
         elif outcome is DONE:
-            pass
+            # The handler disposed of the connection itself; mark the
+            # job so a late worker crash cannot resurrect it.
+            job.finished = True
         else:
             self.complete(job, error_response(TypeError(
                 f"stage {stage.name!r} returned {outcome!r}, "
                 f"not a StageOutcome"
             )))
 
+    def _breaker_outcome(self, stage: Stage, job: RequestJob,
+                         exc: CircuitOpenError) -> StageOutcome:
+        """Map an open breaker to degraded serving or a fast-fail 503."""
+        if self._on_degraded is not None:
+            degraded = self._on_degraded(job)
+            if degraded is not None:
+                self.stats.record_degraded(stage.name)
+                return Complete(degraded)
+        retry_after = max(1, int(math.ceil(exc.retry_after)))
+        return Fail(503, "database circuit breaker open",
+                    headers={"Retry-After": str(retry_after)})
+
+    # ------------------------------------------------------------------
+    # Pool-level hooks: worker fault injection + crash containment
+    # ------------------------------------------------------------------
+    def _worker_fault(self, stage_name: str, item) -> None:
+        """Pool fault hook: consult the plan before the handler runs."""
+        plan = self._faults
+        if plan is None:
+            return
+        page = (item.page_key or None) if isinstance(item, RequestJob) \
+            else None
+        decision = plan.decide(SITE_WORKER, page_key=page, stage=stage_name)
+        if decision is None:
+            return
+        if decision.action is FaultAction.HANG:
+            plan.sleep(decision.delay)
+        elif decision.action is FaultAction.CRASH:
+            raise WorkerCrashError(
+                decision.message
+                or f"injected worker crash in {stage_name!r}"
+            )
+
+    def _on_worker_error(self, stage_name: str, exc: BaseException,
+                         item) -> None:
+        """A worker crashed outside its stage handler.
+
+        Fail the client *only* when this stage still owns the job: a
+        crash after the job was routed (or completed) must not touch a
+        connection that now belongs downstream — closing it here was
+        the latent double-close path.
+        """
+        self.stats.record_worker_crash(stage_name)
+        if not isinstance(item, RequestJob):
+            return
+        if item.finished or item.stage != stage_name:
+            self.stats.record_late_completion(stage_name)
+            return
+        self.fail(item, 500, "worker crashed")
+
     # ------------------------------------------------------------------
     # Terminal paths (shared by every stage)
     # ------------------------------------------------------------------
     def complete(self, job: RequestJob, response: HTTPResponse) -> None:
-        """Transmit, record the completion, then park or close."""
+        """Transmit, record the completion, then park or close.
+
+        Idempotent per job: the second completion of a job (a handler
+        that completed and then crashed, a worker crash racing the
+        routed response) is counted as late and suppressed — it must
+        not double-record the completion or re-park a socket that was
+        already parked or closed.
+        """
+        if job.finished:
+            self.stats.record_late_completion(job.stage)
+            return
+        job.finished = True
         response = head_strip(job.request, response)
         keep_alive = (job.request.keep_alive
                       if job.request is not None else False)
@@ -373,17 +503,34 @@ class Pipeline:
                 job.request_class,
                 self.clock.now() - job.arrival,
             )
+            if (self._stale_store is not None and response.status == 200
+                    and job.request_class is not RequestClass.STATIC
+                    and job.page_key):
+                self._stale_store(job, response)
         if keep_alive and not job.client.closed and self._accepting:
             # Back to the reactor, not a pool: the connection may stay
             # idle for seconds and must not block a thread.
             self._on_park(job.client)
+        elif job.request is None:
+            # Completed without ever parsing a request — e.g. a lease
+            # failure before the handler could read.  Unread request
+            # bytes may still sit in the receive buffer, where a bare
+            # close would RST and discard the response in flight.
+            job.client.close_after_error()
         else:
             job.client.close()
 
-    def fail(self, job: RequestJob, status: int, message: str = "") -> None:
+    def fail(self, job: RequestJob, status: int, message: str = "",
+             headers: Optional[Dict[str, str]] = None) -> None:
         """Transmit an error response and close the connection."""
-        job.client.send_response(HTTPResponse.error(status, message),
-                                 keep_alive=False)
+        if job.finished:
+            self.stats.record_late_completion(job.stage)
+            return
+        job.finished = True
+        response = HTTPResponse.error(status, message)
+        if headers:
+            response.headers.update(headers)
+        job.client.send_response(response, keep_alive=False)
         job.client.close_after_error()
 
     # ------------------------------------------------------------------
@@ -440,18 +587,44 @@ class PipelineServer:
                  max_queue: Optional[int] = None,
                  socket_timeout: float = DEFAULT_SOCKET_TIMEOUT,
                  idle_timeout: Optional[float] = None,
-                 max_connections: Optional[int] = None):
+                 max_connections: Optional[int] = None,
+                 faults: Optional[FaultPlan] = None,
+                 resilience: Optional[ResilienceConfig] = None):
         self.app = app
         self.connection_pool = connection_pool
         self.clock = clock if clock is not None else MonotonicClock()
         self.stats = ServerStats(self.clock)
+        self.faults = faults
+        self.resilience = resilience
+        if faults is not None:
+            # Thread the one plan through every layer it can break.
+            if faults.on_inject is None:
+                faults.on_inject = self.stats.record_fault
+            connection_pool.faults = faults
+            connection_pool.database.faults = faults
+            app.templates.faults = faults
+        self.breaker: Optional[CircuitBreaker] = None
+        if resilience is not None and resilience.breaker is not None:
+            self.breaker = CircuitBreaker(
+                resilience.breaker, clock=self.clock,
+                on_transition=self.stats.record_breaker_transition,
+            )
+        # Backoff sleeps route through the plan's sleeper when a plan
+        # is present, so chaos tests can advance a ManualClock instead
+        # of wall time.
+        sleeper = faults.sleep if faults is not None else time.sleep
         # One lease manager per server: every stage that declares
         # DatabaseResource gets its connections provisioned (and its
         # held/busy time metered) through this object — no subclass
         # binds connections by hand.
         self.leases = LeaseManager(
-            connection_pool, binder=app, stats=self.stats, clock=self.clock
+            connection_pool, binder=app, stats=self.stats, clock=self.clock,
+            breaker=self.breaker,
+            retry=resilience.retry if resilience is not None else None,
+            retry_seed=resilience.seed if resilience is not None else 0,
+            sleeper=sleeper,
         )
+        degraded = (resilience is not None and resilience.degraded_serving)
         # Pools start their threads (and run worker_init) inside the
         # Pipeline constructor — app/connection_pool must already be
         # set, which is why they are assigned first.
@@ -463,6 +636,10 @@ class PipelineServer:
             on_park=self._park,
             max_queue=max_queue,
             leases=self.leases,
+            faults=faults,
+            resilience=resilience,
+            on_degraded=self._degraded_response if degraded else None,
+            stale_store=self._store_stale if degraded else None,
         )
         self.reactor = ConnectionReactor(
             self.pipeline.dispatch,
@@ -473,7 +650,8 @@ class PipelineServer:
             on_shed=self.stats.record_shed,
         )
         self._listener = Listener(host, port, self._on_accept,
-                                  socket_timeout=socket_timeout)
+                                  socket_timeout=socket_timeout,
+                                  faults=faults)
         self._sampler = PeriodicTask(
             queue_sample_interval, self._sample_queues, name="queue-sampler"
         )
@@ -527,6 +705,38 @@ class PipelineServer:
     def sampler_errors(self) -> int:
         """Exceptions swallowed (but counted) by the periodic tasks."""
         return sum(task.errors for task in self._periodic_tasks)
+
+    # ------------------------------------------------------------------
+    # Degraded serving: stale fragment-cache fallback (breaker open)
+    # ------------------------------------------------------------------
+    def _store_stale(self, job: RequestJob, response: HTTPResponse) -> None:
+        """Keep a last-known-good copy of each dynamic page.
+
+        Stored under a reserved ``("#stale", page)`` key so it never
+        collides with the template engine's own fragment entries.
+        """
+        cache = self.app.templates.fragment_cache
+        if cache is None:
+            return
+        cache.put(("#stale", job.page_key),
+                  response.body.decode("utf-8", "replace"))
+
+    def _degraded_response(self, job: RequestJob) -> Optional[HTTPResponse]:
+        """Serve the stale copy while the breaker is open, if we have one.
+
+        ``get_stale`` deliberately returns expired entries: a stale page
+        beats a 503 for read-mostly traffic (paper §2's whole premise is
+        that most dynamic content tolerates bounded staleness).
+        """
+        cache = self.app.templates.fragment_cache
+        if cache is None or not job.page_key:
+            return None
+        body = cache.get_stale(("#stale", job.page_key))
+        if body is None:
+            return None
+        response = HTTPResponse.html(body)
+        response.headers["X-Degraded"] = "stale-cache"
+        return response
 
     # ------------------------------------------------------------------
     def template_cache_stats(self) -> dict:

@@ -32,7 +32,8 @@ class ThreadPool:
                  worker_init: Optional[Callable[[], None]] = None,
                  worker_cleanup: Optional[Callable[[], None]] = None,
                  error_handler: Optional[Callable[[BaseException, Any], None]] = None,
-                 max_queue: Optional[int] = None):
+                 max_queue: Optional[int] = None,
+                 fault_hook: Optional[Callable[[Any], None]] = None):
         if size < 1:
             raise ValueError(f"pool {name!r} size must be >= 1, got {size}")
         if max_queue is not None and max_queue < 1:
@@ -55,6 +56,11 @@ class ThreadPool:
         self._worker_init = worker_init
         self._worker_cleanup = worker_cleanup
         self._error_handler = error_handler
+        # Runs on the worker with the item *before* the handler: the
+        # fault-injection seam for worker crash/hang scenarios.  A
+        # raising hook takes the same error path a crashing handler
+        # would, which is the point.
+        self._fault_hook = fault_hook
         self._shutdown = False
         self.tasks_completed = 0
         self.errors = 0
@@ -123,6 +129,8 @@ class ThreadPool:
                 with self._busy_lock:
                     self._busy += 1
                 try:
+                    if self._fault_hook is not None:
+                        self._fault_hook(item)
                     handler(item)
                     self.tasks_completed += 1
                 except Exception as exc:
@@ -141,7 +149,12 @@ class ThreadPool:
         self.errors += 1
         self.last_error = exc
         if self._error_handler is not None:
-            self._error_handler(exc, item)
+            try:
+                self._error_handler(exc, item)
+            except Exception:
+                # The error handler is a best-effort notification; a
+                # bug in it must not kill the worker thread too.
+                pass
 
     # ------------------------------------------------------------------
     def shutdown(self, wait: bool = True, timeout: float = 5.0) -> None:

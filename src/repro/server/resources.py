@@ -40,12 +40,19 @@ import contextlib
 import dataclasses
 import enum
 import threading
-from typing import Callable, Iterator, Optional, Tuple
+import time
+from typing import Callable, Iterator, List, Optional, Tuple
 
 from repro.db.connection import Connection, Cursor
-from repro.db.errors import ProgrammingError
-from repro.db.pool import ConnectionPool
+from repro.db.errors import (
+    PoolTimeoutError,
+    ProgrammingError,
+    TransientDBError,
+)
+from repro.faults.errors import CircuitOpenError
+from repro.faults.policies import CircuitBreaker, RetryPolicy
 from repro.util.clock import Clock, MonotonicClock
+from repro.util.rng import RandomStream
 
 
 class LeaseStrategy(enum.Enum):
@@ -121,11 +128,24 @@ class LeaseManager:
     """
 
     def __init__(self, pool: ConnectionPool, binder=None, stats=None,
-                 clock: Optional[Clock] = None):
+                 clock: Optional[Clock] = None,
+                 breaker: Optional[CircuitBreaker] = None,
+                 retry: Optional[RetryPolicy] = None,
+                 retry_seed: int = 0,
+                 sleeper: Callable[[float], None] = time.sleep):
         self.pool = pool
         self.binder = binder
         self.stats = stats
         self.clock = clock if clock is not None else MonotonicClock()
+        #: Circuit breaker guarding the pool: every acquire consults it
+        #: (fast-fail while open), every outcome feeds it.  ``None``
+        #: disables the policy.
+        self.breaker = breaker
+        #: Transient-DB retry policy for per-query leases; ``None``
+        #: disables retries.
+        self.retry = retry
+        self._retry_stream = RandomStream(retry_seed, "retry-jitter")
+        self._sleeper = sleeper
         self._mutex = threading.Lock()
         self._outstanding = 0
         self._local = threading.local()
@@ -135,12 +155,47 @@ class LeaseManager:
     # ------------------------------------------------------------------
     def acquire(self, stage: str, strategy: LeaseStrategy,
                 timeout: Optional[float] = None) -> Lease:
+        if self.breaker is not None and not self.breaker.allow():
+            # Fast-fail instead of queueing another request against an
+            # exhausted pool; the pipeline maps this to 503 +
+            # Retry-After (or a degraded stale-cache response).
+            if self.stats is not None:
+                self.stats.record_fast_fail(stage)
+            raise CircuitOpenError(
+                retry_after=self.breaker.retry_after()
+            )
         started = self.clock.now()
-        connection = self.pool.acquire(timeout=timeout)
+        try:
+            connection = self.pool.acquire(timeout=timeout)
+        except PoolTimeoutError:
+            if self.breaker is not None:
+                self.breaker.record_failure()
+            raise
+        if self.breaker is not None:
+            self.breaker.record_success()
         now = self.clock.now()
         with self._mutex:
             self._outstanding += 1
         return Lease(connection, stage, strategy, now - started, now)
+
+    # ------------------------------------------------------------------
+    # Retry support (consumed by PerQueryConnection._run)
+    # ------------------------------------------------------------------
+    def retry_delays(self) -> List[float]:
+        """One statement's backoff schedule (empty when retries are
+        disabled).  Draws jitter from the manager's seeded stream, so
+        a fixed seed yields a bit-reproducible schedule sequence."""
+        if self.retry is None:
+            return []
+        return self.retry.delays(self._retry_stream)
+
+    def note_retry(self, stage: str) -> None:
+        if self.stats is not None:
+            self.stats.record_retry(stage)
+
+    def backoff_sleep(self, seconds: float) -> None:
+        if seconds > 0:
+            self._sleeper(seconds)
 
     def release(self, lease: Lease) -> None:
         if lease._released:
@@ -352,20 +407,45 @@ class PerQueryConnection:
         return lease
 
     def _run(self, sql: str, params) -> Cursor:
-        """Execute one statement, leasing unless a transaction holds."""
+        """Execute one statement, leasing unless a transaction holds.
+
+        Transient failures (:class:`~repro.db.errors.TransientDBError`)
+        are retried with the manager's backoff policy — but only for
+        idempotent statements outside an explicit transaction: a
+        replayed SELECT cannot double-write, and a transaction must not
+        be split across leases, let alone replayed piecemeal.
+        """
         if self._sticky is not None:
             cursor = self._sticky.connection.cursor()
             cursor.execute(sql, params)
             return cursor
-        lease = self._manager.acquire(
-            self._stage, LeaseStrategy.LEASED_PER_QUERY, self._timeout
-        )
-        try:
-            cursor = lease.connection.cursor()
-            cursor.execute(sql, params)
-            return cursor
-        finally:
-            self._manager.release(lease)
+        delays = (self._manager.retry_delays()
+                  if _is_idempotent(sql) else [])
+        attempt = 0
+        while True:
+            lease = self._manager.acquire(
+                self._stage, LeaseStrategy.LEASED_PER_QUERY, self._timeout
+            )
+            try:
+                cursor = lease.connection.cursor()
+                cursor.execute(sql, params)
+                return cursor
+            except TransientDBError:
+                if attempt >= len(delays):
+                    raise
+            finally:
+                self._manager.release(lease)
+            # Only the retried transient path reaches here: back off
+            # (lease released — never hold a connection while waiting),
+            # then re-acquire and replay.
+            self._manager.note_retry(self._stage)
+            self._manager.backoff_sleep(delays[attempt])
+            attempt += 1
+
+
+def _is_idempotent(sql: str) -> bool:
+    """Only reads are safely replayable."""
+    return sql.lstrip()[:6].upper() == "SELECT"
 
 
 class PerQueryCursor:

@@ -45,6 +45,9 @@ from repro.core.classifier import RequestClass, page_key
 from repro.core.dispatch import DynamicPoolChoice
 from repro.core.policy import PolicyConfig, SchedulingPolicy
 from repro.db.pool import ConnectionPool
+from repro.faults.errors import CircuitOpenError
+from repro.faults.plan import FaultPlan
+from repro.faults.policies import ResilienceConfig
 from repro.http.errors import HTTPError
 from repro.http.response import HTTPResponse
 from repro.server.app import Application
@@ -105,7 +108,9 @@ class StagedServer(PipelineServer):
                  idle_timeout: Optional[float] = None,
                  max_connections: Optional[int] = None,
                  render_inline: bool = False,
-                 lease_strategy: LeaseStrategy = LeaseStrategy.PINNED):
+                 lease_strategy: LeaseStrategy = LeaseStrategy.PINNED,
+                 faults: Optional[FaultPlan] = None,
+                 resilience: Optional[ResilienceConfig] = None):
         if policy is None:
             # Default policy sized to the connection pool: dynamic
             # threads consume every connection, split 4:1 between the
@@ -158,6 +163,7 @@ class StagedServer(PipelineServer):
             queue_sample_interval=queue_sample_interval,
             max_queue=max_queue, socket_timeout=socket_timeout,
             idle_timeout=idle_timeout, max_connections=max_connections,
+            faults=faults, resilience=resilience,
         )
         self._reserve_ticker = PeriodicTask(
             config.reserve_update_interval, self._reserve_tick, name="reserve"
@@ -258,6 +264,10 @@ class StagedServer(PipelineServer):
         generation_started = self.clock.now()
         try:
             result = self.app.invoke(job.request)
+        except CircuitOpenError:
+            # The pipeline owns this path: degraded serving or a
+            # Retry-After 503, never a generic 500.
+            raise
         except Exception as exc:
             return Complete(error_response(exc))
         outcome = interpret_result(result)
@@ -285,5 +295,7 @@ class StagedServer(PipelineServer):
         assert job.unrendered is not None
         try:
             return Complete(render_page(self.app, job.unrendered))
+        except CircuitOpenError:
+            raise
         except Exception as exc:
             return Complete(error_response(exc))

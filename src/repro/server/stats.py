@@ -60,6 +60,12 @@ class ServerStats:
         # Per-stage connection-lease ledger: strategy label, lease
         # count, held/busy second sums, acquire-wait percentiles.
         self._lease_stats: Dict[str, Dict] = {}
+        # Resilience ledger: per-stage policy counters, injected-fault
+        # counts keyed "site:action", breaker state + transition tally.
+        self._resilience: Dict[str, Dict[str, int]] = {}
+        self._fault_counts: Dict[str, int] = {}
+        self._breaker_state = "closed"
+        self._breaker_transitions: Dict[str, int] = {}
 
     @staticmethod
     def _class_labels(request_class: Union[RequestClass, str]) -> tuple:
@@ -222,6 +228,89 @@ class ServerStats:
                 "acquire_wait": entry["waits"].summary(),
             }
         return report
+
+    # ------------------------------------------------------------------
+    # Resilience: fault injection + policy outcomes
+    # (fed by FaultPlan.on_inject, the pipeline, and the LeaseManager)
+    # ------------------------------------------------------------------
+    _RESILIENCE_COUNTERS = (
+        "retries", "deadline_expired", "breaker_fast_fail",
+        "degraded_served", "late_completions", "worker_crashes",
+    )
+
+    def _resilience_entry(self, stage: str) -> Dict[str, int]:
+        entry = self._resilience.get(stage)
+        if entry is None:
+            entry = {name: 0 for name in self._RESILIENCE_COUNTERS}
+            self._resilience[stage] = entry
+        return entry
+
+    def _bump(self, stage: str, counter: str) -> None:
+        with self._lock:
+            self._resilience_entry(stage or "?")[counter] += 1
+
+    def record_retry(self, stage: str) -> None:
+        """One transient-DB retry issued on ``stage``."""
+        self._bump(stage, "retries")
+
+    def record_deadline_expired(self, stage: str) -> None:
+        """A request failed 504 at ``stage``: past its deadline."""
+        self._bump(stage, "deadline_expired")
+
+    def record_fast_fail(self, stage: str) -> None:
+        """The open circuit breaker fast-failed an acquire on ``stage``."""
+        self._bump(stage, "breaker_fast_fail")
+
+    def record_degraded(self, stage: str) -> None:
+        """A stale fragment-cache copy was served while the breaker
+        was open."""
+        self._bump(stage, "degraded_served")
+
+    def record_late_completion(self, stage: str) -> None:
+        """A completion/failure arrived for an already-finished job
+        (e.g. a worker crash after routing) and was suppressed."""
+        self._bump(stage, "late_completions")
+
+    def record_worker_crash(self, stage: str) -> None:
+        """A pool worker crashed outside its stage handler."""
+        self._bump(stage, "worker_crashes")
+
+    def record_fault(self, site: str, action: str) -> None:
+        """One injected fault (wired to ``FaultPlan.on_inject``)."""
+        with self._lock:
+            label = f"{site}:{action}"
+            self._fault_counts[label] = self._fault_counts.get(label, 0) + 1
+
+    def record_breaker_transition(self, state: str) -> None:
+        """The circuit breaker entered ``state``."""
+        with self._lock:
+            self._breaker_state = state
+            self._breaker_transitions[state] = \
+                self._breaker_transitions.get(state, 0) + 1
+
+    def resilience_report(self) -> Dict:
+        """Snapshot of fault injections and policy outcomes.
+
+        ``{"stages": {stage: {retries, deadline_expired,
+        breaker_fast_fail, degraded_served, late_completions,
+        worker_crashes}}, "faults_injected": {"site:action": n},
+        "breaker": {"state": ..., "transitions": {...}}}`` — keyed
+        identically by the live servers and the sim mirror.
+        """
+        with self._lock:
+            return {
+                "stages": {
+                    stage: dict(entry)
+                    for stage, entry in sorted(self._resilience.items())
+                },
+                "faults_injected": dict(sorted(self._fault_counts.items())),
+                "breaker": {
+                    "state": self._breaker_state,
+                    "transitions": dict(
+                        sorted(self._breaker_transitions.items())
+                    ),
+                },
+            }
 
     # ------------------------------------------------------------------
     def completions(self) -> Dict[str, int]:

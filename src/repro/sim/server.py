@@ -14,6 +14,9 @@ from typing import Optional
 
 from repro.core.dispatch import Dispatcher, DynamicPoolChoice
 from repro.core.policy import PolicyConfig, SchedulingPolicy
+from repro.faults.plan import FaultPlan
+from repro.faults.policies import ResilienceConfig
+from repro.sim.faults import SimFaultHarness, SimRequestFailed
 from repro.sim.kernel import SimEvent, Simulation
 from repro.sim.resources import (
     PrioritySimThreadPool,
@@ -44,21 +47,40 @@ class _SimServerBase:
         #: Render demands were calibrated against the interpreting
         #: template engine; the knob models the compiled render path.
         self._render_scale = 1.0 / config.render_speedup
+        #: Fault-injection mirror; installed by :meth:`configure_faults`.
+        self.fault_harness: Optional[SimFaultHarness] = None
+
+    def configure_faults(self, plan: FaultPlan,
+                         resilience: Optional[ResilienceConfig] = None
+                         ) -> SimFaultHarness:
+        """Mirror a live server's fault plan + policies on sim time.
+
+        The plan should be built with :func:`repro.sim.faults.
+        sim_fault_plan` so its schedule windows read the sim clock.
+        """
+        self.fault_harness = SimFaultHarness(self.sim, plan, resilience)
+        return self.fault_harness
 
     def _render_demand(self, profile: PageProfile, jitter: float) -> float:
         return profile.render_demand * jitter * self._render_scale
 
     # ------------------------------------------------------------------
-    def _db_phase(self, profile: PageProfile, jitter: float, lease=None):
+    def _db_phase(self, profile: PageProfile, jitter: float, lease=None,
+                  stage: str = ""):
         """The data-generation phase: read holds, query, optional write
         grace period.  The calling thread (and its held database
         connection) is occupied for the entire phase; time actually
         spent serving queries accrues onto ``lease`` as busy time."""
+        harness = self.fault_harness
         read_tables = sorted(profile.read_tables)
         tokens = [(table, self.locks.acquire_read(table))
                   for table in read_tables]
         try:
             if profile.db_demand > 0:
+                # Mirror of the live engine's per-statement injection
+                # point (delay, transient-with-retry, hard failure).
+                if harness is not None:
+                    yield from harness.db_query(stage, profile.path)
                 query_started = self.sim.now
                 yield self.db.serve(profile.db_demand * jitter)
                 if lease is not None:
@@ -69,6 +91,8 @@ class _SimServerBase:
         if profile.write_table is not None:
             yield self.locks.acquire_write(profile.write_table)
             try:
+                if harness is not None:
+                    yield from harness.db_query(stage, profile.path)
                 query_started = self.sim.now
                 yield self.db.serve(profile.write_demand * jitter)
                 if lease is not None:
@@ -104,37 +128,75 @@ class SimBaselineServer(_SimServerBase):
         self.workers = SimThreadPool(sim, "worker", config.baseline_workers)
 
     def _page_process(self, profile: PageProfile, jitter: float):
-        yield self.workers.acquire(tag="dynamic")
-        # The same thread parses, queries, and renders; its pinned
-        # connection is held (and mostly idle) for the whole request.
-        lease = self.connections.lease(tag="dynamic")
-        yield lease.granted
+        harness = self.fault_harness
+        arrival = self.sim.now
+        page = profile.path
         try:
-            yield self.web.serve(profile.parse_demand)
-            generation_start = self.sim.now
-            yield from self._db_phase(profile, jitter, lease)
-            self.results.record_generation(
-                self.sim.now, profile.path, self.sim.now - generation_start
-            )
-            if profile.render_demand > 0:
-                yield self.web.serve(self._render_demand(profile, jitter))
-        finally:
-            lease.release()
-            self.workers.release()
+            yield self.workers.acquire(tag="dynamic")
+            # The same thread parses, queries, and renders; its pinned
+            # connection is held (and mostly idle) for the whole request.
+            try:
+                if harness is not None:
+                    # Same consultation order as the live request path:
+                    # worker hook, deadline, socket read, pool acquire.
+                    yield from harness.worker_start("worker", page)
+                    harness.check_deadline("worker", arrival)
+                    harness.on_client_read(page, "worker")
+                    yield from harness.lease_gate("worker", page)
+                lease = self.connections.lease(tag="dynamic")
+                yield lease.granted
+                try:
+                    yield self.web.serve(profile.parse_demand)
+                    generation_start = self.sim.now
+                    yield from self._db_phase(profile, jitter, lease,
+                                              stage="worker")
+                    self.results.record_generation(
+                        self.sim.now, profile.path,
+                        self.sim.now - generation_start
+                    )
+                    if profile.render_demand > 0:
+                        if harness is not None:
+                            yield from harness.render_gate(page, "worker")
+                        yield self.web.serve(
+                            self._render_demand(profile, jitter))
+                finally:
+                    lease.release()
+            finally:
+                self.workers.release()
+        except SimRequestFailed:
+            # The live side sent an error response (or nothing, for a
+            # dropped client); either way no completion is recorded.
+            return
+        if harness is not None and not harness.on_client_write(page, "worker"):
+            return
         self.results.record_request(self.sim.now, "dynamic")
         self.results.record_request(self.sim.now, _report_class(profile.path))
 
     def _static_process(self, demand: float):
-        yield self.workers.acquire(tag="static")
-        # Even static serving occupies the worker's pinned connection —
-        # the paper's complaint about the thread-per-request trend.
-        lease = self.connections.lease(tag="static")
-        yield lease.granted
+        harness = self.fault_harness
+        arrival = self.sim.now
         try:
-            yield self.web.serve(demand)
-        finally:
-            lease.release()
-            self.workers.release()
+            yield self.workers.acquire(tag="static")
+            try:
+                if harness is not None:
+                    yield from harness.worker_start("worker", "")
+                    harness.check_deadline("worker", arrival)
+                    harness.on_client_read("", "worker")
+                # Even static serving occupies the worker's pinned
+                # connection — the paper's complaint about the
+                # thread-per-request trend.
+                lease = self.connections.lease(tag="static")
+                yield lease.granted
+                try:
+                    yield self.web.serve(demand)
+                finally:
+                    lease.release()
+            finally:
+                self.workers.release()
+        except SimRequestFailed:
+            return
+        if harness is not None and not harness.on_client_write("", "worker"):
+            return
         self.results.record_request(self.sim.now, "static")
 
     def sample(self, results: SimResults) -> None:
@@ -188,67 +250,118 @@ class SimStagedServer(_SimServerBase):
         self._last_tick = 0.0
 
     def _page_process(self, profile: PageProfile, jitter: float):
-        # Stage 1-2: header parsing (full parse for dynamic requests).
-        yield self.header_pool.acquire(tag="header")
+        harness = self.fault_harness
+        arrival = self.sim.now
+        page = profile.path
         try:
-            yield self.web.serve(profile.parse_demand)
-            choice = self.policy.route(
-                profile.path, tspare=self.general_pool.spare
-            )
-        finally:
-            self.header_pool.release()
-
-        # Stage 3: data generation on a connection-holding thread.
-        if choice is DynamicPoolChoice.GENERAL:
-            pool, tag = self.general_pool, "general"
-        else:
-            pool, tag = self.lengthy_pool, "lengthy"
-        yield pool.acquire(tag=tag)
-        # The connection is held only while a dynamic thread works —
-        # the paper's scheme, and the source of the busy-fraction gap.
-        lease = self.connections.lease(tag=tag)
-        yield lease.granted
-        try:
-            generation_start = self.sim.now
-            yield from self._db_phase(profile, jitter, lease)
-            generation_seconds = self.sim.now - generation_start
-            # Feed the live classifier, exactly as the real server does
-            # at the moment the unrendered template is enqueued (§3.3).
-            self.policy.record_generation_time(profile.path, generation_seconds)
-            self.results.record_generation(
-                self.sim.now, profile.path, generation_seconds
-            )
-            if self.render_inline and profile.render_demand > 0:
-                # A5: the connection sits idle while this thread renders.
-                yield self.web.serve(self._render_demand(profile, jitter))
-        finally:
-            lease.release()
-            pool.release()
-
-        if not self.render_inline:
-            # Stage 4: template rendering on a connection-free thread.
-            yield self.render_pool.acquire(tag="render")
+            # Stage 1-2: header parsing (full parse for dynamic requests).
+            yield self.header_pool.acquire(tag="header")
             try:
-                if profile.render_demand > 0:
-                    yield self.web.serve(self._render_demand(profile, jitter))
+                if harness is not None:
+                    yield from harness.worker_start("header", page)
+                    harness.check_deadline("header", arrival)
+                    harness.on_client_read(page, "header")
+                yield self.web.serve(profile.parse_demand)
+                choice = self.policy.route(
+                    profile.path, tspare=self.general_pool.spare
+                )
             finally:
-                self.render_pool.release()
+                self.header_pool.release()
+
+            # Stage 3: data generation on a connection-holding thread.
+            if choice is DynamicPoolChoice.GENERAL:
+                pool, tag = self.general_pool, "general"
+            else:
+                pool, tag = self.lengthy_pool, "lengthy"
+            yield pool.acquire(tag=tag)
+            try:
+                if harness is not None:
+                    yield from harness.worker_start(tag, page)
+                    harness.check_deadline(tag, arrival)
+                    yield from harness.lease_gate(tag, page)
+                # The connection is held only while a dynamic thread
+                # works — the paper's scheme, and the source of the
+                # busy-fraction gap.
+                lease = self.connections.lease(tag=tag)
+                yield lease.granted
+                try:
+                    generation_start = self.sim.now
+                    yield from self._db_phase(profile, jitter, lease,
+                                              stage=tag)
+                    generation_seconds = self.sim.now - generation_start
+                    # Feed the live classifier, exactly as the real
+                    # server does at the moment the unrendered template
+                    # is enqueued (§3.3).
+                    self.policy.record_generation_time(profile.path,
+                                                       generation_seconds)
+                    self.results.record_generation(
+                        self.sim.now, profile.path, generation_seconds
+                    )
+                    if self.render_inline and profile.render_demand > 0:
+                        # A5: the connection sits idle while this
+                        # thread renders.
+                        if harness is not None:
+                            yield from harness.render_gate(page, tag)
+                        yield self.web.serve(
+                            self._render_demand(profile, jitter))
+                finally:
+                    lease.release()
+            finally:
+                pool.release()
+
+            render_stage = tag
+            if not self.render_inline:
+                # Stage 4: template rendering on a connection-free thread.
+                render_stage = "render"
+                yield self.render_pool.acquire(tag="render")
+                try:
+                    if harness is not None:
+                        yield from harness.worker_start("render", page)
+                        harness.check_deadline("render", arrival)
+                    if profile.render_demand > 0:
+                        if harness is not None:
+                            yield from harness.render_gate(page, "render")
+                        yield self.web.serve(
+                            self._render_demand(profile, jitter))
+                finally:
+                    self.render_pool.release()
+        except SimRequestFailed:
+            # The live side sent an error response (or nothing, for a
+            # dropped client); either way no completion is recorded.
+            return
+        if harness is not None and \
+                not harness.on_client_write(page, render_stage):
+            return
         self.results.record_request(self.sim.now, "dynamic")
         self.results.record_request(self.sim.now, _report_class(profile.path))
 
     def _static_process(self, demand: float):
-        # Header pool reads the request line only, then the static pool
-        # parses its own headers and serves the file (§3.2).
-        yield self.header_pool.acquire(tag="header")
+        harness = self.fault_harness
+        arrival = self.sim.now
         try:
-            yield self.web.serve(0.0002)
-        finally:
-            self.header_pool.release()
-        yield self.static_pool.acquire(tag="static")
-        try:
-            yield self.web.serve(demand)
-        finally:
-            self.static_pool.release()
+            # Header pool reads the request line only, then the static
+            # pool parses its own headers and serves the file (§3.2).
+            yield self.header_pool.acquire(tag="header")
+            try:
+                if harness is not None:
+                    yield from harness.worker_start("header", "")
+                    harness.check_deadline("header", arrival)
+                    harness.on_client_read("", "header")
+                yield self.web.serve(0.0002)
+            finally:
+                self.header_pool.release()
+            yield self.static_pool.acquire(tag="static")
+            try:
+                if harness is not None:
+                    yield from harness.worker_start("static", "")
+                    harness.check_deadline("static", arrival)
+                yield self.web.serve(demand)
+            finally:
+                self.static_pool.release()
+        except SimRequestFailed:
+            return
+        if harness is not None and not harness.on_client_write("", "static"):
+            return
         self.results.record_request(self.sim.now, "static")
 
     def sample(self, results: SimResults) -> None:

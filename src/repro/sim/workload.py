@@ -220,12 +220,22 @@ def _report_class(path: str) -> str:
 def run_tpcw_simulation(server_kind: str,
                         config: Optional[WorkloadConfig] = None,
                         profiles: Optional[Dict[str, PageProfile]] = None,
-                        dispatcher=None) -> SimResults:
+                        dispatcher=None,
+                        fault_rules=None,
+                        fault_seed: int = 0,
+                        resilience=None) -> SimResults:
     """Run one complete simulated TPC-W experiment.
 
     ``server_kind`` is ``"baseline"`` (thread-per-request) or
     ``"staged"`` (the paper's five-pool design).  Returns the
     :class:`SimResults` with everything the harness needs.
+
+    ``fault_rules`` (a sequence of :class:`repro.faults.plan.FaultRule`)
+    turns the run into a chaos experiment: the rules are evaluated on
+    simulated time at the same injection points the live servers
+    expose, with ``resilience`` (a :class:`ResilienceConfig`) governing
+    deadlines, retry, and the circuit breaker.  The results object then
+    carries ``fault_report`` and ``resilience_report`` attributes.
     """
     from repro.sim.server import (
         SimBaselineServer,
@@ -258,6 +268,13 @@ def run_tpcw_simulation(server_kind: str,
     else:
         raise ValueError(f"unknown server kind {server_kind!r}")
 
+    harness = None
+    if fault_rules is not None:
+        from repro.sim.faults import sim_fault_plan
+
+        plan = sim_fault_plan(sim, fault_rules, seed=fault_seed)
+        harness = server.configure_faults(plan, resilience)
+
     for index in range(config.clients):
         rng = RandomStream(config.seed, f"browser-{index}")
         mix = BrowsingMix(
@@ -271,6 +288,9 @@ def run_tpcw_simulation(server_kind: str,
     # In-flight leases at cut-off are simply not counted (same rule as
     # the live report: completed checkouts only).
     results.connection_report = server.connections.utilization_report()
+    if harness is not None:
+        results.fault_report = harness.fault_report()
+        results.resilience_report = harness.resilience_report()
     return results
 
 

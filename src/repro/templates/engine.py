@@ -99,6 +99,10 @@ class TemplateEngine:
         self.compiled = compiled
         self.cache_size = cache_size
         self.fragment_cache = fragment_cache
+        #: Optional :class:`repro.faults.plan.FaultPlan` consulted on
+        #: every :meth:`render` (slow render / render-time crash).
+        #: Assigned by the owning server.
+        self.faults = None
         self._sources: Dict[str, str] = dict(sources) if sources else {}
         self._cache: Dict[str, Template] = {}
         self._lock = threading.Lock()
@@ -158,6 +162,8 @@ class TemplateEngine:
 
     def render(self, name: str, data: Optional[Dict[str, Any]] = None) -> str:
         """Convenience: load + render in one call."""
+        if self.faults is not None:
+            self.faults.on_render(name)
         return self.get_template(name).render(data)
 
     # ------------------------------------------------------------------

@@ -91,6 +91,24 @@ class FragmentCache:
             self.hits += 1
             return value
 
+    def get_stale(self, key: Hashable,
+                  default: Optional[str] = None) -> Optional[str]:
+        """Return the cached fragment even if expired (degraded serving).
+
+        Vcache's argument: an out-of-date document beats no document
+        when the backend is unavailable.  Unlike :meth:`get`, an
+        expired entry is returned *and retained* — the circuit breaker
+        will close eventually and the normal path will refresh it.
+        """
+        with self._lock:
+            entry = self._data.get(key)
+            if entry is None:
+                self.misses += 1
+                return default
+            self._data.move_to_end(key)
+            self.hits += 1
+            return entry[0]
+
     def put(self, key: Hashable, value: str,
             timeout: Optional[float] = None) -> None:
         """Store a fragment; ``timeout`` seconds (None = no expiry,

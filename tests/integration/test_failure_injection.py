@@ -18,6 +18,18 @@ from repro.server.staged import StagedServer
 from repro.templates.engine import TemplateEngine
 
 
+def wait_until(predicate, timeout=10.0, interval=0.005):
+    """Bounded predicate poll: asserts on observable server state
+    instead of assuming a fixed-duration sleep was long enough."""
+    deadline = time.time() + timeout
+    pause = threading.Event()
+    while time.time() < deadline:
+        if predicate():
+            return
+        pause.wait(interval)
+    raise AssertionError(f"condition not met within {timeout}s")
+
+
 def build_app():
     database = Database()
     database.executescript(
@@ -128,7 +140,7 @@ class TestClientMisbehaviour:
             sock = socket.create_connection((host, port), timeout=5)
             sock.sendall(b"GET /ok HTTP/1.1\r\nHost:")  # incomplete
             sock.close()
-        time.sleep(0.1)
+        # No settling sleep: a working request right now is the claim.
         assert http_request(host, port, "/ok").status == 200
 
     def test_client_sends_garbage(self, server):
@@ -143,7 +155,8 @@ class TestClientMisbehaviour:
         host, port = server.address
         socks = [socket.create_connection((host, port), timeout=5)
                  for _ in range(3)]
-        time.sleep(0.1)
+        # Silent connections park in the reactor, not on worker threads.
+        wait_until(lambda: server.reactor.parked_count >= 3)
         # Server must still answer others while those connections idle.
         assert http_request(host, port, "/ok").status == 200
         for sock in socks:
@@ -192,9 +205,11 @@ class TestOverload:
         get an immediate 503 instead of waiting forever."""
         app, database = build_app()
         gate = threading.Event()
+        entered = threading.Semaphore(0)
 
         @app.expose("/block")
         def block():
+            entered.release()
             gate.wait(timeout=30)
             return ("ok.html", {"v": 0})
 
@@ -210,9 +225,12 @@ class TestOverload:
 
             blockers = [threading.Thread(target=blocked_call)
                         for _ in range(3)]  # 2 workers + 1 queued
-            for t in blockers:
+            for t in blockers[:2]:
                 t.start()
-                time.sleep(0.3)  # let each engage before the next arrives
+                # Handler entry observed: this worker is truly occupied.
+                assert entered.acquire(timeout=10)
+            blockers[2].start()
+            wait_until(lambda: server.worker_pool.queue_length >= 1)
             response = http_request(host, port, "/ok", timeout=5)
             assert response.status == 503
             assert server.worker_pool.rejected >= 1

@@ -341,6 +341,115 @@ class TestBackpressure:
             pipeline.shutdown()
 
 
+class TestCrashContainment:
+    """Regressions for the late-completion path: a worker crash after
+    a job was routed (or already finished) must not double-record
+    stats, close a connection that now belongs downstream, or re-park
+    a dead socket."""
+
+    @staticmethod
+    def resilience(stats, stage, counter):
+        return stats.resilience_report()["stages"][stage][counter]
+
+    def test_second_completion_suppressed_and_counted_late(self):
+        pipeline, stats, parked = build_pipeline(
+            [Stage("only", 1, lambda job: DONE)], "only"
+        )
+        try:
+            client = FakeClient()
+            job = RequestJob(client=client, lifecycle=RequestLifecycle(0.0),
+                            stage="only")
+            job.request = make_request(keep_alive=True)
+            pipeline.complete(job, HTTPResponse.html("first"))
+            assert parked == [client]
+            pipeline.complete(job, HTTPResponse.html("second"))
+            # One transmit, one recorded completion, no second park.
+            assert len(client.responses) == 1
+            assert stats.total_completions() == 1
+            assert parked == [client]
+            assert self.resilience(stats, "only", "late_completions") == 1
+        finally:
+            pipeline.shutdown()
+
+    def test_fail_after_completion_suppressed(self):
+        pipeline, stats, _ = build_pipeline(
+            [Stage("only", 1, lambda job: DONE)], "only"
+        )
+        try:
+            client = FakeClient()
+            job = RequestJob(client=client, lifecycle=RequestLifecycle(0.0),
+                            stage="only")
+            job.request = make_request()
+            pipeline.complete(job, HTTPResponse.html("x"))
+            pipeline.fail(job, 500, "late crash")
+            assert len(client.responses) == 1
+            assert not client.error_closed
+            assert self.resilience(stats, "only", "late_completions") == 1
+        finally:
+            pipeline.shutdown()
+
+    def test_crash_after_routing_leaves_downstream_job_alone(self):
+        pipeline, stats, _ = build_pipeline(
+            [Stage("first", 1, lambda job: DONE),
+             Stage("second", 1, lambda job: DONE)], "first"
+        )
+        try:
+            client = FakeClient()
+            job = RequestJob(client=client, lifecycle=RequestLifecycle(0.0),
+                            stage="second")  # ownership moved on submit
+            pipeline._on_worker_error("first", RuntimeError("boom"), job)
+            # The crashed stage no longer owns the job: the connection
+            # must be untouched for the downstream stage to finish.
+            assert client.responses == []
+            assert not client.closed
+            assert self.resilience(stats, "first", "worker_crashes") == 1
+            assert self.resilience(stats, "first", "late_completions") == 1
+        finally:
+            pipeline.shutdown()
+
+    def test_crash_while_owning_unfinished_job_fails_it(self):
+        pipeline, stats, _ = build_pipeline(
+            [Stage("only", 1, lambda job: DONE)], "only"
+        )
+        try:
+            client = FakeClient()
+            job = RequestJob(client=client, lifecycle=RequestLifecycle(0.0),
+                            stage="only")
+            pipeline._on_worker_error("only", RuntimeError("boom"), job)
+            response, _ = client.responses[0]
+            assert response.status == 500
+            assert client.error_closed
+            assert self.resilience(stats, "only", "worker_crashes") == 1
+            assert self.resilience(stats, "only", "late_completions") == 0
+        finally:
+            pipeline.shutdown()
+
+    def test_done_outcome_marks_job_finished(self):
+        seen = {}
+
+        def handler(job):
+            seen["job"] = job
+            job.client.close()
+            return DONE
+
+        pipeline, stats, _ = build_pipeline(
+            [Stage("only", 1, handler)], "only"
+        )
+        try:
+            client = FakeClient()
+            pipeline.dispatch(client)
+            wait(client)
+            # A crash arriving after DONE must see finished=True and be
+            # suppressed rather than resurrecting the closed socket.
+            assert seen["job"].finished
+            pipeline._on_worker_error("only", RuntimeError("late"),
+                                      seen["job"])
+            assert client.responses == []
+            assert self.resilience(stats, "only", "late_completions") == 1
+        finally:
+            pipeline.shutdown()
+
+
 class TestConstruction:
     def test_duplicate_stage_names_rejected(self):
         stats = ServerStats()

@@ -1,0 +1,69 @@
+"""The CI sleep-free lint: chaos tests run on scripted clocks."""
+
+import os
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+CHECKER = os.path.join(REPO_ROOT, "tools", "check_sleep_free.py")
+
+sys.path.insert(0, os.path.join(REPO_ROOT, "tools"))
+from check_sleep_free import find_violations  # noqa: E402
+
+
+class TestFindViolations:
+    def test_repo_chaos_suite_is_clean(self):
+        assert find_violations(
+            os.path.join(REPO_ROOT, "tests", "chaos")
+        ) == []
+
+    def test_detects_time_sleep_call(self, tmp_path):
+        (tmp_path / "test_rogue.py").write_text(
+            "import time\n\ndef test_x():\n    time.sleep(0.5)\n"
+        )
+        violations = find_violations(str(tmp_path))
+        assert len(violations) == 1
+        relative, lineno, line = violations[0]
+        assert relative == "test_rogue.py"
+        assert lineno == 4
+        assert "time.sleep" in line
+
+    def test_detects_sleep_import(self, tmp_path):
+        (tmp_path / "test_alias.py").write_text(
+            "from time import sleep\n\ndef test_x():\n    sleep(1)\n"
+        )
+        violations = find_violations(str(tmp_path))
+        assert [v[1] for v in violations] == [1]
+
+    def test_comments_do_not_count(self, tmp_path):
+        (tmp_path / "test_notes.py").write_text(
+            "# never time.sleep() in chaos tests\nx = 1\n"
+        )
+        assert find_violations(str(tmp_path)) == []
+
+    def test_monotonic_and_manual_clocks_are_fine(self, tmp_path):
+        (tmp_path / "test_ok.py").write_text(
+            "import time\n\ndef test_x(clock):\n"
+            "    t = time.monotonic()\n    clock.advance(5.0)\n"
+        )
+        assert find_violations(str(tmp_path)) == []
+
+
+class TestCommandLine:
+    def test_exit_zero_on_clean_tree(self):
+        result = subprocess.run(
+            [sys.executable, CHECKER], capture_output=True, text=True,
+            cwd=REPO_ROOT,
+        )
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "clean" in result.stdout
+
+    def test_exit_one_with_listing_on_violation(self, tmp_path):
+        rogue = tmp_path / "test_rogue.py"
+        rogue.write_text("import time\ntime.sleep(2)\n")
+        result = subprocess.run(
+            [sys.executable, CHECKER, str(tmp_path)],
+            capture_output=True, text=True,
+        )
+        assert result.returncode == 1
+        assert "test_rogue.py:2" in result.stdout

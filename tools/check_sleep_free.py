@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Lint: the chaos test suite must not sleep.
+
+Chaos scenarios are deterministic by construction — injected delays,
+retry backoff, and breaker timeouts all run on a ``ManualClock`` (live)
+or the sim clock, so a chaos test that calls ``time.sleep`` is either
+hiding a race behind wall time or waiting for something the clocks
+already control.  CI greps ``tests/chaos`` for ``time.sleep`` call
+sites (and ``sleep`` imported from ``time``) and fails on any hit.
+
+Usage: python tools/check_sleep_free.py [tests-chaos-root]
+Exit status 0 if clean, 1 with a listing of offending lines otherwise.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import sys
+
+#: A time.sleep call site, scanned on comment-stripped lines.
+SLEEP_CALL = re.compile(r"\btime\.sleep\s*\(")
+#: Importing sleep out of time just renames the same wall-clock wait.
+SLEEP_IMPORT = re.compile(r"\bfrom\s+time\s+import\b[^\n]*\bsleep\b")
+
+
+def find_violations(root: str):
+    violations = []
+    for dirpath, _dirnames, filenames in os.walk(root):
+        for filename in sorted(filenames):
+            if not filename.endswith(".py"):
+                continue
+            path = os.path.join(dirpath, filename)
+            relative = os.path.relpath(path, root)
+            with open(path, encoding="utf-8") as f:
+                for lineno, line in enumerate(f, start=1):
+                    code = line.split("#", 1)[0]
+                    if SLEEP_CALL.search(code) or SLEEP_IMPORT.search(code):
+                        violations.append(
+                            (relative, lineno, line.rstrip("\n"))
+                        )
+    return violations
+
+
+def main(argv) -> int:
+    root = argv[1] if len(argv) > 1 else os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        "tests", "chaos",
+    )
+    violations = find_violations(root)
+    if violations:
+        print("time.sleep in the chaos suite (drive the ManualClock or "
+              "sim clock instead):")
+        for relative, lineno, line in violations:
+            print(f"  {relative}:{lineno}: {line.strip()}")
+        return 1
+    print("sleep-free check: clean (chaos tests run on scripted clocks)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
